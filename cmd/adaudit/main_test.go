@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adaudit/impliedidentity/internal/core"
+)
+
+func TestParseScale(t *testing.T) {
+	cases := map[string]core.Scale{"test": core.ScaleTest, "bench": core.ScaleBench, "full": core.ScaleFull}
+	for in, want := range cases {
+		got, err := parseScale(in)
+		if err != nil || got != want {
+			t.Errorf("parseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScale("huge"); err == nil {
+		t.Error("unknown scale: want error")
+	}
+}
+
+func TestRunArgValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no args: want usage error")
+	}
+	if err := run([]string{"walk", "table1"}); err == nil {
+		t.Error("bad verb: want usage error")
+	}
+	if err := run([]string{"-scale", "enormous", "run", "table1"}); err == nil {
+		t.Error("bad scale: want error")
+	}
+	if err := run([]string{"-scale", "test", "run", "tableZ"}); err == nil || !strings.Contains(err.Error(), "unknown target") {
+		t.Errorf("unknown target: got %v", err)
+	}
+}
+
+func TestRunTable1EndToEnd(t *testing.T) {
+	// The cheapest full-path target: builds the world and prints Table 1.
+	if err := run([]string{"-scale", "test", "-seed", "5", "run", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerCachesLab(t *testing.T) {
+	r := &runner{scale: core.ScaleTest, seed: 6}
+	defer r.close()
+	a, err := r.ensureLab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ensureLab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("ensureLab should cache the lab")
+	}
+}
+
+func TestScaleDown(t *testing.T) {
+	if scaleDown(core.ScaleFull) != core.ScaleBench {
+		t.Error("full should scale down to bench for ablations")
+	}
+	if scaleDown(core.ScaleTest) != core.ScaleTest {
+		t.Error("test scale should stay")
+	}
+}
+
+func TestScaledBehavior(t *testing.T) {
+	cfg := scaledBehavior(1.5)
+	if cfg.AffinityScale != 1.5 {
+		t.Errorf("AffinityScale = %v", cfg.AffinityScale)
+	}
+	if cfg.BaseCTR == 0 {
+		t.Error("defaults should be preserved")
+	}
+}
+
+func TestRunnerAllTargetsEndToEnd(t *testing.T) {
+	// One runner, every artifact handler, sharing the lab and campaigns the
+	// way `run all` does. This is the CLI's integration test.
+	r := &runner{scale: core.ScaleTest, seed: 21, csvDir: t.TempDir()}
+	defer r.close()
+	handlers := []struct {
+		name string
+		fn   func() error
+	}{
+		{"table1", r.table1},
+		{"table3", r.table3},
+		{"fig3", r.fig3},
+		{"table4a", r.table4a},
+		{"fig4", r.fig4},
+		{"table4b", r.table4b},
+		{"fig6", r.fig6},
+		{"fig5", r.fig5},
+		{"table4c", r.table4c},
+		{"fig1", r.fig1},
+		{"fig7", r.fig7},
+		{"table5", r.table5},
+		{"tableA1", r.tableA1},
+		{"fig2", r.fig2},
+		{"table2", r.table2},
+		{"objectives", r.objectives},
+		{"groups", r.groups},
+		{"lookalike", r.lookalike},
+		{"power", r.power},
+		{"verify", r.verify},
+	}
+	for _, h := range handlers {
+		if err := h.fn(); err != nil {
+			t.Fatalf("%s: %v", h.name, err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command adplatform serves the simulated advertising platform's marketing
+// API over TCP, for driving the audit from external tooling (or from the
+// examples in this repository). It builds the synthetic world — FL/NC voter
+// registries, the matched user population, and the platform with its trained
+// delivery-optimization model — then listens until interrupted.
+//
+// Usage:
+//
+//	adplatform -addr 127.0.0.1:8399 -scale bench -seed 7
+//
+// The server also writes the generated voter extracts to -voterdir (if set),
+// so an external auditor can parse them exactly as it would the real public
+// records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/marketing"
+	"github.com/adaudit/impliedidentity/internal/platform"
+	"github.com/adaudit/impliedidentity/internal/population"
+	"github.com/adaudit/impliedidentity/internal/voter"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adplatform:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adplatform", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8399", "listen address")
+	seed := fs.Int64("seed", 1, "world seed")
+	voters := fs.Int("voters", 40000, "voters per state")
+	logRows := fs.Int("logrows", 30000, "engagement-log rows for eAR training")
+	voterDir := fs.String("voterdir", "", "directory to write FL/NC voter extracts into (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Printf("generating registries (%d voters per state)...\n", *voters)
+	flCfg := voter.DefaultGeneratorConfig(demo.StateFL, *seed+1)
+	flCfg.NumVoters = *voters
+	ncCfg := voter.DefaultGeneratorConfig(demo.StateNC, *seed+2)
+	ncCfg.NumVoters = *voters
+	fl, err := voter.Generate(flCfg)
+	if err != nil {
+		return err
+	}
+	nc, err := voter.Generate(ncCfg)
+	if err != nil {
+		return err
+	}
+	if *voterDir != "" {
+		if err := writeExtracts(*voterDir, fl, nc); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("building population and training the platform...")
+	pop, err := population.Build(population.Config{Seed: *seed + 3}, fl, nc)
+	if err != nil {
+		return err
+	}
+	behave, err := population.NewBehavior(population.DefaultBehaviorConfig())
+	if err != nil {
+		return err
+	}
+	cfg := platform.DefaultConfig(*seed + 4)
+	cfg.Training.LogRows = *logRows
+	plat, err := platform.New(cfg, pop, behave)
+	if err != nil {
+		return err
+	}
+	srv, err := marketing.NewServer(plat)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("marketing API listening at http://%s (%d users)\n", ln.Addr(), len(pop.Users))
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return httpSrv.Serve(ln)
+}
+
+func writeExtracts(dir string, fl, nc *voter.Registry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	flPath := filepath.Join(dir, "fl_voter_extract.txt")
+	f, err := os.Create(flPath)
+	if err != nil {
+		return err
+	}
+	if err := voter.WriteFL(f, fl.Records); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	ncPath := filepath.Join(dir, "ncvoter.txt")
+	g, err := os.Create(ncPath)
+	if err != nil {
+		return err
+	}
+	if err := voter.WriteNC(g, nc.Records); err != nil {
+		g.Close()
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", flPath, ncPath)
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/voter"
+)
+
+func TestWriteExtractsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	flCfg := voter.DefaultGeneratorConfig(demo.StateFL, 1)
+	flCfg.NumVoters = 200
+	fl, err := voter.Generate(flCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncCfg := voter.DefaultGeneratorConfig(demo.StateNC, 2)
+	ncCfg.NumVoters = 200
+	nc, err := voter.Generate(ncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeExtracts(dir, fl, nc); err != nil {
+		t.Fatal(err)
+	}
+	// The written files parse back to identical records.
+	ff, err := os.Open(filepath.Join(dir, "fl_voter_extract.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ff.Close()
+	got, err := voter.ParseFL(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fl.Records) {
+		t.Errorf("FL round trip: %d records, want %d", len(got), len(fl.Records))
+	}
+	nf, err := os.Open(filepath.Join(dir, "ncvoter.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Close()
+	gotNC, err := voter.ParseNC(nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNC) != len(nc.Records) {
+		t.Errorf("NC round trip: %d records, want %d", len(gotNC), len(nc.Records))
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-voters", "nope"}); err == nil {
+		t.Error("bad flag value: want error")
+	}
+	// An unusable address should fail fast (before the long training).
+	if err := run([]string{"-voters", "2000", "-logrows", "1500", "-addr", "256.0.0.1:99999"}); err == nil {
+		t.Error("bad address: want error")
+	}
+}

@@ -1,0 +1,86 @@
+package adaudit_test
+
+// Godoc examples for the public API. They compile with the package's tests;
+// none declare expected output because the simulation results depend on the
+// machine-independent but verbose seeded world.
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	adaudit "github.com/adaudit/impliedidentity"
+)
+
+// ExampleNewLab builds the simulated world and reproduces the paper's
+// Campaign 1, printing Table 4a next to the published coefficients.
+func ExampleNewLab() {
+	lab, err := adaudit.NewLab(adaudit.LabConfig{Seed: 1, Scale: adaudit.ScaleTest})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+
+	res, err := lab.RunStockExperiment(adaudit.StockExperimentOptions{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(adaudit.FormatTable4(res.Table4, "a"))
+}
+
+// ExampleLab_RunFigure1 reproduces the paper's headline two-ad contrast.
+func ExampleLab_RunFigure1() {
+	lab, err := adaudit.NewLab(adaudit.LabConfig{Seed: 1, Scale: adaudit.ScaleTest})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+
+	pipeline, err := adaudit.NewSyntheticPipeline(2000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := lab.RunFigure1(pipeline, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(adaudit.FormatFigure1(res))
+}
+
+// ExampleAuditPower sizes an audit before spending anything: how many image
+// pairs does detecting a 5-point skew take at 95% power?
+func ExampleAuditPower() {
+	design := adaudit.PowerOptions{
+		Delta:            0.05,
+		BaseRate:         0.55,
+		ImpressionsPerAd: 180,
+	}
+	pairs, err := adaudit.MinimumPairs(design, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	design.Pairs = pairs
+	power, err := adaudit.AuditPower(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d pairs -> %.1f%% power\n", pairs, 100*power)
+	// Output: 15 pairs -> 95.8% power
+}
+
+// ExampleWriteDeliveriesCSV exports per-ad measurements for downstream
+// analysis.
+func ExampleWriteDeliveriesCSV() {
+	lab, err := adaudit.NewLab(adaudit.LabConfig{Seed: 1, Scale: adaudit.ScaleTest})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+	res, err := lab.RunStockExperiment(adaudit.StockExperimentOptions{Seed: 2, PerPerson: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := adaudit.WriteDeliveriesCSV(os.Stdout, res.Deliveries[:1]); err != nil {
+		log.Fatal(err)
+	}
+}

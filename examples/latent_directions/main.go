@@ -1,0 +1,50 @@
+// Latent directions: the paper's §5.4 technique in isolation. Sample random
+// faces from the generative network, label each with the Deepface-style
+// classifier, fit one regression per demographic attribute on the flattened
+// activation vectors, and then *edit* a face by walking the fitted
+// directions — producing 20 demographic variants of the same synthetic
+// person while holding everything else (lighting, pose, expression bank)
+// nearly constant.
+//
+// Run with:
+//
+//	go run ./examples/latent_directions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adaudit "github.com/adaudit/impliedidentity"
+)
+
+func main() {
+	const samples = 5000
+	fmt.Printf("Sampling %d faces and fitting latent directions (gender, race, age)...\n", samples)
+	pipeline, err := adaudit.NewSyntheticPipeline(samples, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Generating the 20-variant grid for one source person...")
+	specs, err := pipeline.SyntheticSpecs(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sweep []adaudit.SweepCell
+	source := pipeline.Samples[0].Image
+	fmt.Printf("source face: classifier reads it as %v\n\n", pipeline.Classifier.Profile(source))
+	for _, spec := range specs {
+		sweep = append(sweep, adaudit.SweepCell{
+			Target:     spec.Profile,
+			Classified: pipeline.Classifier.Profile(spec.Image),
+		})
+	}
+	fmt.Print(adaudit.FormatFigure6(sweep))
+
+	fmt.Println("\nInherited bias check (§5.4): the gender classifier partially keys on the")
+	fmt.Printf("smile axis (weight %+.3f), so walking the 'female' latent direction also\n",
+		pipeline.Classifier.SmileWeight())
+	fmt.Println("introduces a more pronounced smile — exactly the caveat the paper reports.")
+}

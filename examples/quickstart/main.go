@@ -1,0 +1,42 @@
+// Quickstart: reproduce the paper's Figure 1 — two identical lumber job ads
+// whose only difference is whether the pictured man is white or Black, run
+// at the same time with the same budget against the same balanced audience.
+// The delivery algorithm routes them to starkly different racial audiences.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adaudit "github.com/adaudit/impliedidentity"
+)
+
+func main() {
+	fmt.Println("Building the simulated world (registries, population, trained platform)...")
+	lab, err := adaudit.NewLab(adaudit.LabConfig{Seed: 42, Scale: adaudit.ScaleTest})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+	fmt.Printf("Marketing API is live at %s\n\n", lab.URL())
+
+	fmt.Println("Generating two synthetic faces (same person, different implied race)...")
+	pipeline, err := adaudit.NewSyntheticPipeline(2000, 43)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Running the two-ad campaign for one simulated day...")
+	res, err := lab.RunFigure1(pipeline, 44)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(adaudit.FormatFigure1(res))
+	fmt.Println()
+	fmt.Println("Same budget, same audience, same time — the only difference is the face.")
+}

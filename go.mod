@@ -1,0 +1,3 @@
+module github.com/adaudit/impliedidentity
+
+go 1.22

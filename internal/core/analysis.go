@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/stats"
+)
+
+// Table 4's dummy encoding (§3.4, footnote 6): race reference = white,
+// gender reference = male, implied-age reference = adult. The intercept is
+// then the predicted delivery for an image of a white adult man.
+func table4Encoder() *stats.DummyEncoder {
+	e := &stats.DummyEncoder{}
+	e.AddCategorical("race", "white", []string{"Black"})
+	e.AddCategorical("gender", "male", []string{"Female"})
+	e.AddCategorical("age", "adult", []string{"Child", "Teen", "Middle-aged", "Elderly"})
+	return e
+}
+
+func table4Observation(d *Delivery) map[string]string {
+	obs := map[string]string{"race": "white", "gender": "male", "age": "adult"}
+	if d.Profile.Race == demo.RaceBlack {
+		obs["race"] = "Black"
+	}
+	if d.Profile.Gender == demo.GenderFemale {
+		obs["gender"] = "Female"
+	}
+	switch d.Profile.Age {
+	case demo.ImpliedChild:
+		obs["age"] = "Child"
+	case demo.ImpliedTeen:
+		obs["age"] = "Teen"
+	case demo.ImpliedMiddleAged:
+		obs["age"] = "Middle-aged"
+	case demo.ImpliedElderly:
+		obs["age"] = "Elderly"
+	}
+	return obs
+}
+
+// AgeTarget selects which elderly-delivery model a Table 4 variant fits:
+// % Age 65+ for the all-ages campaign (Table 4a), % Age 35+ for the
+// age-capped campaigns (Tables 4b and 4c).
+type AgeTarget int
+
+// Age targets.
+const (
+	AgeTarget65Plus AgeTarget = iota
+	AgeTarget35Plus
+)
+
+// String names the dependent variable.
+func (a AgeTarget) String() string {
+	if a == AgeTarget35Plus {
+		return "% Age 35+"
+	}
+	return "% Age 65+"
+}
+
+// Table4 is one full regression table: three OLS models over the same
+// implied-identity dummies with different delivery targets.
+type Table4 struct {
+	Black  *stats.OLSResult // target: fraction of actual audience that is Black
+	Female *stats.OLSResult // target: fraction female
+	Age    *stats.OLSResult // target: fraction in the older group
+	Target AgeTarget
+}
+
+// RegressTable4 fits the three Table 4 models on per-ad deliveries.
+func RegressTable4(ds []Delivery, target AgeTarget) (*Table4, error) {
+	if len(ds) < 10 {
+		return nil, fmt.Errorf("core: %d deliveries too few for Table 4 regression", len(ds))
+	}
+	enc := table4Encoder()
+	obs := make([]map[string]string, len(ds))
+	for i := range ds {
+		obs[i] = table4Observation(&ds[i])
+	}
+	x, err := enc.EncodeAll(obs)
+	if err != nil {
+		return nil, err
+	}
+	names := enc.ColumnNames()
+	yBlack := make([]float64, len(ds))
+	yFemale := make([]float64, len(ds))
+	yAge := make([]float64, len(ds))
+	for i := range ds {
+		yBlack[i] = ds[i].FracBlack
+		yFemale[i] = ds[i].FracFemale
+		if target == AgeTarget35Plus {
+			yAge[i] = ds[i].FracAge35Plus
+		} else {
+			yAge[i] = ds[i].FracAge65Plus
+		}
+	}
+	t := &Table4{Target: target}
+	if t.Black, err = stats.OLS(names, x, yBlack); err != nil {
+		return nil, fmt.Errorf("core: %%Black model: %w", err)
+	}
+	if t.Female, err = stats.OLS(names, x, yFemale); err != nil {
+		return nil, fmt.Errorf("core: %%Female model: %w", err)
+	}
+	if t.Age, err = stats.OLS(names, x, yAge); err != nil {
+		return nil, fmt.Errorf("core: %%Age model: %w", err)
+	}
+	return t, nil
+}
+
+// Table5 is the §6 mixed-effects analysis: six random-intercept models
+// (grouped by job type) quantifying congruent race and gender skews in the
+// employment ads.
+type Table5 struct {
+	// Dependent variable: fraction Black; independent: implied-Black dummy.
+	RaceImpliedFemale *stats.MixedLMResult // model I: only implied-female ads
+	RaceImpliedMale   *stats.MixedLMResult // model II: only implied-male ads
+	RaceOverall       *stats.MixedLMResult // model III: all ads
+	// Dependent variable: fraction female; independent: implied-female dummy.
+	GenderImpliedBlack *stats.MixedLMResult // model IV
+	GenderImpliedWhite *stats.MixedLMResult // model V
+	GenderOverall      *stats.MixedLMResult // model VI
+}
+
+// RegressTable5 fits the six Table 5 models on employment-ad deliveries.
+// Every delivery must carry a Job.
+func RegressTable5(ds []Delivery) (*Table5, error) {
+	for i := range ds {
+		if ds[i].Job == "" {
+			return nil, fmt.Errorf("core: delivery %s has no job type", ds[i].Key)
+		}
+	}
+	fit := func(keep func(*Delivery) bool, dep func(*Delivery) float64, indep func(*Delivery) float64, name string) (*stats.MixedLMResult, error) {
+		x := [][]float64{}
+		var y []float64
+		var groups []string
+		for i := range ds {
+			d := &ds[i]
+			if !keep(d) {
+				continue
+			}
+			x = append(x, []float64{indep(d)})
+			y = append(y, dep(d))
+			groups = append(groups, d.Job)
+		}
+		if len(y) < 6 {
+			return nil, fmt.Errorf("core: model %q: only %d ads", name, len(y))
+		}
+		m, err := stats.MatrixFromRows(x)
+		if err != nil {
+			return nil, err
+		}
+		res, err := stats.MixedLM([]string{name}, m, y, groups)
+		if err != nil {
+			return nil, fmt.Errorf("core: model %q: %w", name, err)
+		}
+		return res, nil
+	}
+
+	isFemale := func(d *Delivery) bool { return d.Profile.Gender == demo.GenderFemale }
+	isMale := func(d *Delivery) bool { return d.Profile.Gender == demo.GenderMale }
+	isBlack := func(d *Delivery) bool { return d.Profile.Race == demo.RaceBlack }
+	isWhite := func(d *Delivery) bool { return d.Profile.Race == demo.RaceWhite }
+	all := func(*Delivery) bool { return true }
+	depBlack := func(d *Delivery) float64 { return d.FracBlack }
+	depFemale := func(d *Delivery) float64 { return d.FracFemale }
+	indepBlack := func(d *Delivery) float64 {
+		if isBlack(d) {
+			return 1
+		}
+		return 0
+	}
+	indepFemale := func(d *Delivery) float64 {
+		if isFemale(d) {
+			return 1
+		}
+		return 0
+	}
+
+	var t Table5
+	var err error
+	if t.RaceImpliedFemale, err = fit(isFemale, depBlack, indepBlack, "Implied: Black"); err != nil {
+		return nil, err
+	}
+	if t.RaceImpliedMale, err = fit(isMale, depBlack, indepBlack, "Implied: Black"); err != nil {
+		return nil, err
+	}
+	if t.RaceOverall, err = fit(all, depBlack, indepBlack, "Implied: Black"); err != nil {
+		return nil, err
+	}
+	if t.GenderImpliedBlack, err = fit(isBlack, depFemale, indepFemale, "Implied: female"); err != nil {
+		return nil, err
+	}
+	if t.GenderImpliedWhite, err = fit(isWhite, depFemale, indepFemale, "Implied: female"); err != nil {
+		return nil, err
+	}
+	if t.GenderOverall, err = fit(all, depFemale, indepFemale, "Implied: female"); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// TableA1 is the Appendix A regression: %Black on implied identity, fitted
+// on the poverty-controlled campaign's surviving ads. The implied-age
+// encoding drops Child (the paper's surviving 24-ad subset had no child
+// images after balancing; we mirror the reported row set: Black, Female,
+// Teen, Middle-aged, Elderly).
+func TableA1(ds []Delivery) (*stats.OLSResult, error) {
+	if len(ds) < 10 {
+		return nil, fmt.Errorf("core: %d deliveries too few for Table A1", len(ds))
+	}
+	enc := &stats.DummyEncoder{}
+	enc.AddCategorical("race", "white", []string{"Black"})
+	enc.AddCategorical("gender", "male", []string{"Female"})
+	enc.AddCategorical("age", "adult", []string{"Teen", "Middle-aged", "Elderly"})
+	obs := make([]map[string]string, 0, len(ds))
+	y := make([]float64, 0, len(ds))
+	for i := range ds {
+		d := &ds[i]
+		if d.Profile.Age == demo.ImpliedChild {
+			continue // mirrored exclusion, see above
+		}
+		o := table4Observation(d)
+		obs = append(obs, o)
+		y = append(y, d.FracBlack)
+	}
+	x, err := enc.EncodeAll(obs)
+	if err != nil {
+		return nil, err
+	}
+	return stats.OLS(enc.ColumnNames(), x, y)
+}
+
+// FDRSignificant returns the names of the non-intercept terms (qualified by
+// model, e.g. "%Black:Black") whose coefficients survive a Benjamini-
+// Hochberg false-discovery-rate adjustment at the given level across all 18
+// tests the table performs. The paper stars raw p-values; with 21 starred
+// cells across Table 4, FDR control is the conservative check that the
+// headline skews are not multiplicity artifacts.
+func (t *Table4) FDRSignificant(level float64) []string {
+	models := []struct {
+		label string
+		fit   *stats.OLSResult
+	}{
+		{"%Black", t.Black},
+		{"%Female", t.Female},
+		{t.Target.String(), t.Age},
+	}
+	var labels []string
+	var ps []float64
+	for _, m := range models {
+		for i, name := range m.fit.Names {
+			if name == "Intercept" {
+				continue
+			}
+			labels = append(labels, m.label+":"+name)
+			ps = append(ps, m.fit.PValue[i])
+		}
+	}
+	qs := stats.BenjaminiHochberg(ps)
+	var out []string
+	for i, q := range qs {
+		if q < level {
+			out = append(out, labels[i])
+		}
+	}
+	return out
+}

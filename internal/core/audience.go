@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/population"
+	"github.com/adaudit/impliedidentity/internal/voter"
+)
+
+// SplitAudiences holds the two Custom Audiences of the Figure 2 methodology.
+// Primary targets white Florida voters plus Black North Carolina voters;
+// Reversed targets the opposite assignment. Every ad runs in two copies, one
+// per audience, and the analysis aggregates both so location-specific
+// confounders cancel (§3.3).
+type SplitAudiences struct {
+	PrimaryID  string // FL white + NC Black
+	ReversedID string // FL Black + NC white
+	// Sample sizes per audience side, for Table 1 style reporting.
+	PerState int
+}
+
+// hashRecords converts voter records to the PII hashes an advertiser
+// uploads.
+func hashRecords(records []voter.Record) []string {
+	out := make([]string, len(records))
+	for i := range records {
+		r := &records[i]
+		out[i] = population.HashPII(r.FirstName, r.LastName, r.Address, r.ZIP)
+	}
+	return out
+}
+
+// filterRace returns the subset of records with the given race.
+func filterRace(records []voter.Record, race demo.Race) []voter.Record {
+	var out []voter.Record
+	for i := range records {
+		if records[i].Race == race {
+			out = append(out, records[i])
+		}
+	}
+	return out
+}
+
+// BalancedSamples draws one stratified, Table 1-balanced sample from each
+// state's registry.
+func (l *Lab) BalancedSamples(perCell int, seed int64) (fl, nc []voter.Record) {
+	rng := rand.New(rand.NewSource(seed))
+	fl = voter.StratifiedSample(l.FL.Records, perCell, rng)
+	nc = voter.StratifiedSample(l.NC.Records, perCell, rng)
+	return fl, nc
+}
+
+// BuildSplitAudiences constructs and uploads the paired race-split Custom
+// Audiences from balanced per-state samples (Figure 2). The stratified
+// samples guarantee that within each audience the age and gender cells stay
+// balanced and that the two race sides are the same size.
+func (l *Lab) BuildSplitAudiences(name string, flSample, ncSample []voter.Record) (SplitAudiences, error) {
+	if len(flSample) == 0 || len(ncSample) == 0 {
+		return SplitAudiences{}, fmt.Errorf("core: empty state samples")
+	}
+	flWhite := filterRace(flSample, demo.RaceWhite)
+	flBlack := filterRace(flSample, demo.RaceBlack)
+	ncWhite := filterRace(ncSample, demo.RaceWhite)
+	ncBlack := filterRace(ncSample, demo.RaceBlack)
+	if len(flWhite) == 0 || len(flBlack) == 0 || len(ncWhite) == 0 || len(ncBlack) == 0 {
+		return SplitAudiences{}, fmt.Errorf("core: a race side is empty (fl %d/%d, nc %d/%d)",
+			len(flWhite), len(flBlack), len(ncWhite), len(ncBlack))
+	}
+
+	primary, err := l.Client.CreateAudience(name+"/FLwhite+NCblack",
+		append(hashRecords(flWhite), hashRecords(ncBlack)...))
+	if err != nil {
+		return SplitAudiences{}, fmt.Errorf("core: uploading primary audience: %w", err)
+	}
+	reversed, err := l.Client.CreateAudience(name+"/FLblack+NCwhite",
+		append(hashRecords(flBlack), hashRecords(ncWhite)...))
+	if err != nil {
+		return SplitAudiences{}, fmt.Errorf("core: uploading reversed audience: %w", err)
+	}
+	if primary.MatchedSize == 0 || reversed.MatchedSize == 0 {
+		return SplitAudiences{}, fmt.Errorf("core: audience matched no users (primary %d, reversed %d)",
+			primary.MatchedSize, reversed.MatchedSize)
+	}
+	return SplitAudiences{
+		PrimaryID:  primary.ID,
+		ReversedID: reversed.ID,
+		PerState:   len(flSample),
+	}, nil
+}
+
+// DefaultSplitAudiences builds the standard audiences at the lab's scale.
+func (l *Lab) DefaultSplitAudiences(name string, seed int64) (SplitAudiences, error) {
+	fl, nc := l.BalancedSamples(l.Config.Scale.PerCell(), seed)
+	return l.BuildSplitAudiences(name, fl, nc)
+}
+
+// Table1 reports the stratified sample the way the paper's Table 1 does,
+// combining both states (group size is per race×gender cell across both
+// states; total is the full audience per age range).
+func Table1(flSample, ncSample []voter.Record) []voter.Table1Row {
+	combined := append(append([]voter.Record(nil), flSample...), ncSample...)
+	return voter.Table1(combined)
+}

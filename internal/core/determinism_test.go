@@ -1,0 +1,24 @@
+package core
+
+import "testing"
+
+func TestRunDeterminismAcrossLabs(t *testing.T) {
+	// Two identical labs in the same process must deliver identically.
+	coef := func() float64 {
+		l, err := NewLab(LabConfig{Seed: 400, Scale: ScaleTest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		res, err := l.RunStockExperiment(StockExperimentOptions{Seed: 401, PerPerson: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := res.Table4.Black.Coefficient("Black")
+		return c
+	}
+	a, b := coef(), coef()
+	if a != b {
+		t.Errorf("same-seed labs delivered differently: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,216 @@
+// Package core implements the paper's contribution: the audit methodology.
+// It builds balanced target audiences from voter records (Table 1, §3.2),
+// implements the region-split race measurement with reversed copies
+// (Figure 2, §3.3), runs controlled ad campaigns where only the image
+// varies, computes delivery measurements, and drives the regression analyses
+// behind Tables 4, 5, and A1.
+//
+// Everything the auditor does goes through the marketing API over HTTP —
+// the same visibility boundary the paper's authors had. The one exception
+// is the simulator-only race oracle used by the methodology-validation
+// experiment (E11), which is read directly from the platform object and is
+// explicitly not part of the advertiser surface.
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/marketing"
+	"github.com/adaudit/impliedidentity/internal/platform"
+	"github.com/adaudit/impliedidentity/internal/population"
+	"github.com/adaudit/impliedidentity/internal/voter"
+)
+
+// Scale selects a simulation size preset.
+type Scale int
+
+// Scale presets. ScaleTest keeps unit tests fast; ScaleBench sizes the
+// benchmark harness; ScaleFull is the CLI default and approaches the
+// paper's audience sizes within laptop memory limits.
+const (
+	ScaleTest Scale = iota
+	ScaleBench
+	ScaleFull
+)
+
+// String names the preset.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleBench:
+		return "bench"
+	case ScaleFull:
+		return "full"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// LabConfig configures the simulated world and the audit's vantage point.
+type LabConfig struct {
+	Seed  int64
+	Scale Scale
+	// Behavior overrides the ground-truth engagement model (ablation A2).
+	// Zero value means DefaultBehaviorConfig.
+	Behavior population.BehaviorConfig
+	// UseEAR false disables delivery optimization (ablation A1).
+	DisableEAR bool
+	// GreedyPacing disables budget pacing (ablation A5).
+	GreedyPacing bool
+	// TravelProb overrides the out-of-region probability (ablation A3:
+	// state-level ≈ 0.004 vs DMA-level ≈ 0.12).
+	TravelProb float64
+	// FLActivityBoost injects a location confounder (ablation A4).
+	FLActivityBoost float64
+}
+
+// votersPerState returns the registry size for the preset.
+func (s Scale) votersPerState() int {
+	switch s {
+	case ScaleBench:
+		return 40000
+	case ScaleFull:
+		return 120000
+	default:
+		return 20000
+	}
+}
+
+// trainingRows returns the engagement-log size for the preset.
+func (s Scale) trainingRows() int {
+	switch s {
+	case ScaleBench:
+		return 30000
+	case ScaleFull:
+		return 60000
+	default:
+		return 20000
+	}
+}
+
+// PerCell returns the default stratified-sample cap per cell for audience
+// construction at this scale.
+func (s Scale) PerCell() int {
+	switch s {
+	case ScaleBench:
+		return 400
+	case ScaleFull:
+		return 1200
+	default:
+		return 250
+	}
+}
+
+// Lab is a fully assembled audit environment: synthetic voter registries, a
+// user population, a trained platform behind a live HTTP marketing API, and
+// the client the audit code uses.
+type Lab struct {
+	Config LabConfig
+	FL, NC *voter.Registry
+	Pop    *population.Population
+	Client *marketing.Client
+
+	// Platform is the simulator handle. Audit code must not use it except
+	// for oracle reads in validation experiments; everything else goes
+	// through Client.
+	Platform *platform.Platform
+
+	httpServer *http.Server
+	listener   net.Listener
+}
+
+// NewLab builds the world: registries for FL and NC, the population, the
+// platform (training its vision and eAR models), and an HTTP server bound
+// to a loopback port with a client pointed at it.
+func NewLab(cfg LabConfig) (*Lab, error) {
+	flCfg := voter.DefaultGeneratorConfig(demo.StateFL, cfg.Seed+1)
+	flCfg.NumVoters = cfg.Scale.votersPerState()
+	ncCfg := voter.DefaultGeneratorConfig(demo.StateNC, cfg.Seed+2)
+	ncCfg.NumVoters = cfg.Scale.votersPerState()
+	fl, err := voter.Generate(flCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating FL registry: %w", err)
+	}
+	nc, err := voter.Generate(ncCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating NC registry: %w", err)
+	}
+
+	popCfg := population.Config{
+		Seed:            cfg.Seed + 3,
+		TravelProb:      cfg.TravelProb,
+		FLActivityBoost: cfg.FLActivityBoost,
+	}
+	pop, err := population.Build(popCfg, fl, nc)
+	if err != nil {
+		return nil, fmt.Errorf("core: building population: %w", err)
+	}
+
+	behaveCfg := cfg.Behavior
+	if behaveCfg == (population.BehaviorConfig{}) {
+		behaveCfg = population.DefaultBehaviorConfig()
+	}
+	behave, err := population.NewBehavior(behaveCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: behaviour model: %w", err)
+	}
+
+	platCfg := platform.DefaultConfig(cfg.Seed + 4)
+	platCfg.Training.LogRows = cfg.Scale.trainingRows()
+	platCfg.UseEAR = !cfg.DisableEAR
+	platCfg.GreedyPacing = cfg.GreedyPacing
+	platCfg.ReviewRejectProb = 0.0 // experiments set review strictness explicitly
+	plat, err := platform.New(platCfg, pop, behave)
+	if err != nil {
+		return nil, fmt.Errorf("core: building platform: %w", err)
+	}
+
+	srv, err := marketing.NewServer(plat)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: binding marketing API: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else would
+		// surface as client errors in the audit calls.
+		_ = httpSrv.Serve(ln)
+	}()
+	client, err := marketing.NewClient("http://" + ln.Addr().String())
+	if err != nil {
+		_ = httpSrv.Close()
+		return nil, err
+	}
+	return &Lab{
+		Config:     cfg,
+		FL:         fl,
+		NC:         nc,
+		Pop:        pop,
+		Client:     client,
+		Platform:   plat,
+		httpServer: httpSrv,
+		listener:   ln,
+	}, nil
+}
+
+// Close shuts down the marketing API server.
+func (l *Lab) Close() error {
+	if l.httpServer == nil {
+		return nil
+	}
+	err := l.httpServer.Close()
+	l.httpServer = nil
+	return err
+}
+
+// URL returns the marketing API base URL (useful for external tooling).
+func (l *Lab) URL() string {
+	return "http://" + l.listener.Addr().String()
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/marketing"
+)
+
+// Delivery is the measured actual-audience composition for one ad (both
+// copies aggregated), the unit of analysis for every table and figure.
+type Delivery struct {
+	Key     string
+	Profile demo.Profile
+	Job     string
+
+	Impressions int
+	Reach       int
+	Clicks      int
+	SpendCents  float64
+
+	// FracBlack is inferred with the Figure 2 region-split method: primary
+	// copy NC impressions and reversed copy FL impressions count as Black;
+	// out-of-target-state impressions are discarded (§5.2 discards 0.8%).
+	FracBlack float64
+	// FracFemale is read directly from the gender breakdown.
+	FracFemale float64
+	// Age composition of the actual audience.
+	FracAge35Plus float64
+	FracAge45Plus float64
+	FracAge65Plus float64
+	AvgAge        float64
+	// FracMen55Plus and FracWomen55Plus drive Figure 4.
+	FracMen55Plus   float64
+	FracWomen55Plus float64
+	// OutOfState is the fraction of impressions outside FL and NC — the
+	// leakage §3.3 reports as <1% for state-level splits.
+	OutOfState float64
+}
+
+// MeasureAdRun computes the Delivery for one AdSpec from its two copies. It
+// returns an error if neither copy delivered.
+func MeasureAdRun(run *AdRun) (Delivery, error) {
+	d := Delivery{Key: run.Spec.Key, Profile: run.Spec.Profile, Job: run.Spec.Image.Job}
+	if run.Primary == nil && run.Reversed == nil {
+		return d, fmt.Errorf("core: ad %s: both copies rejected", run.Spec.Key)
+	}
+
+	var (
+		blackImps, raceCountable int
+		femaleImps               int
+		age35, age45, age65      int
+		men55, women55           int
+		outOfState, total        int
+		ageWeight                float64
+	)
+	account := func(ins *marketing.InsightsResponse, blackState demo.State) error {
+		if ins == nil {
+			return nil
+		}
+		d.Reach += ins.Reach
+		d.Clicks += ins.Clicks
+		d.SpendCents += ins.SpendCents
+		for _, row := range ins.Breakdown {
+			bucket, err := demo.ParseAgeBucket(row.Age)
+			if err != nil {
+				return fmt.Errorf("core: ad %s: %w", run.Spec.Key, err)
+			}
+			gender, err := demo.ParseGender(row.Gender)
+			if err != nil {
+				return fmt.Errorf("core: ad %s: %w", run.Spec.Key, err)
+			}
+			region, err := demo.ParseState(row.Region)
+			if err != nil {
+				return fmt.Errorf("core: ad %s: %w", run.Spec.Key, err)
+			}
+			n := row.Impressions
+			total += n
+			if gender == demo.GenderFemale {
+				femaleImps += n
+			}
+			if bucket >= demo.Age35to44 {
+				age35 += n
+			}
+			if bucket >= demo.Age45to54 {
+				age45 += n
+			}
+			if bucket >= demo.Age65Plus {
+				age65 += n
+			}
+			if bucket >= demo.Age55to64 {
+				if gender == demo.GenderMale {
+					men55 += n
+				} else if gender == demo.GenderFemale {
+					women55 += n
+				}
+			}
+			ageWeight += bucket.Mid() * float64(n)
+			switch region {
+			case demo.StateOther:
+				outOfState += n
+			case blackState:
+				blackImps += n
+				raceCountable += n
+			default:
+				raceCountable += n
+			}
+		}
+		return nil
+	}
+	// Primary copy: white voters are in FL, so NC deliveries are Black.
+	if err := account(run.Primary, demo.StateNC); err != nil {
+		return d, err
+	}
+	// Reversed copy: Black voters are in FL.
+	if err := account(run.Reversed, demo.StateFL); err != nil {
+		return d, err
+	}
+	if total == 0 {
+		return d, fmt.Errorf("core: ad %s: zero impressions", run.Spec.Key)
+	}
+	d.Impressions = total
+	ft := float64(total)
+	d.FracFemale = float64(femaleImps) / ft
+	d.FracAge35Plus = float64(age35) / ft
+	d.FracAge45Plus = float64(age45) / ft
+	d.FracAge65Plus = float64(age65) / ft
+	d.FracMen55Plus = float64(men55) / ft
+	d.FracWomen55Plus = float64(women55) / ft
+	d.AvgAge = ageWeight / ft
+	d.OutOfState = float64(outOfState) / ft
+	if raceCountable > 0 {
+		d.FracBlack = float64(blackImps) / float64(raceCountable)
+	}
+	return d, nil
+}
+
+// MeasureCampaign measures every non-rejected ad in a campaign.
+func MeasureCampaign(run *CampaignRun) ([]Delivery, error) {
+	out := make([]Delivery, 0, len(run.Ads))
+	for i := range run.Ads {
+		if run.Ads[i].Rejected() {
+			continue
+		}
+		d, err := MeasureAdRun(&run.Ads[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: campaign %q: no measurable ads", run.Config.Name)
+	}
+	return out, nil
+}
+
+// Table3Row is one aggregate row of Table 3: the actual-audience makeup for
+// ads whose images share one implied attribute.
+type Table3Row struct {
+	Group       string
+	Ads         int
+	Impressions int
+	FracBlack   float64
+	FracFemale  float64
+	FracAge45   float64
+}
+
+// Table3 aggregates deliveries the way the paper's Table 3 does: by implied
+// race, implied gender, and implied age, impression-weighted.
+func Table3(ds []Delivery) []Table3Row {
+	agg := func(group string, keep func(*Delivery) bool) Table3Row {
+		row := Table3Row{Group: group}
+		var wBlack, wFemale, w45, w float64
+		for i := range ds {
+			d := &ds[i]
+			if !keep(d) {
+				continue
+			}
+			row.Ads++
+			row.Impressions += d.Impressions
+			fw := float64(d.Impressions)
+			w += fw
+			wBlack += d.FracBlack * fw
+			wFemale += d.FracFemale * fw
+			w45 += d.FracAge45Plus * fw
+		}
+		if w > 0 {
+			row.FracBlack = wBlack / w
+			row.FracFemale = wFemale / w
+			row.FracAge45 = w45 / w
+		}
+		return row
+	}
+	var rows []Table3Row
+	for _, r := range []demo.Race{demo.RaceBlack, demo.RaceWhite} {
+		r := r
+		rows = append(rows, agg("race:"+r.String(), func(d *Delivery) bool { return d.Profile.Race == r }))
+	}
+	for _, g := range []demo.Gender{demo.GenderMale, demo.GenderFemale} {
+		g := g
+		rows = append(rows, agg("gender:"+g.String(), func(d *Delivery) bool { return d.Profile.Gender == g }))
+	}
+	for _, a := range demo.AllImpliedAges() {
+		a := a
+		rows = append(rows, agg("age:"+a.String(), func(d *Delivery) bool { return d.Profile.Age == a }))
+	}
+	return rows
+}
+
+// GroupMean returns the impression-weighted mean of a metric over the
+// deliveries selected by keep. It returns the number of ads matched.
+func GroupMean(ds []Delivery, keep func(*Delivery) bool, metric func(*Delivery) float64) (mean float64, ads int) {
+	var num, den float64
+	for i := range ds {
+		d := &ds[i]
+		if !keep(d) {
+			continue
+		}
+		ads++
+		w := float64(d.Impressions)
+		num += metric(d) * w
+		den += w
+	}
+	if den == 0 {
+		return 0, ads
+	}
+	return num / den, ads
+}

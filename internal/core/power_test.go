@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAuditPowerMonotonicity(t *testing.T) {
+	base := PowerOptions{Delta: 0.1, BaseRate: 0.5, ImpressionsPerAd: 180, Pairs: 10}
+	p0, err := AuditPower(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	morePairs := base
+	morePairs.Pairs = 40
+	p1, err := AuditPower(morePairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= p0 {
+		t.Errorf("more pairs should raise power: %v <= %v", p1, p0)
+	}
+	biggerDelta := base
+	biggerDelta.Delta = 0.2
+	p2, err := AuditPower(biggerDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 <= p0 {
+		t.Errorf("bigger effect should raise power: %v <= %v", p2, p0)
+	}
+}
+
+func TestAuditPowerPaperDesign(t *testing.T) {
+	// The paper's design — 50 pairs, ~180 impressions each — is massively
+	// powered for its headline 18-point race effect.
+	p, err := AuditPower(PowerOptions{Delta: 0.18, BaseRate: 0.65, ImpressionsPerAd: 180, Pairs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.999 {
+		t.Errorf("paper design power %v, want ≈ 1", p)
+	}
+	// A two-ad pilot at the same budget is underpowered for small effects.
+	pilot, err := AuditPower(PowerOptions{Delta: 0.03, BaseRate: 0.5, ImpressionsPerAd: 180, Pairs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pilot > 0.3 {
+		t.Errorf("pilot power %v, should be low", pilot)
+	}
+}
+
+func TestAuditPowerBounds(t *testing.T) {
+	f := func(raw uint8) bool {
+		o := PowerOptions{
+			Delta:            0.01 + float64(raw%20)/25,
+			BaseRate:         0.3 + float64(raw%5)/10,
+			ImpressionsPerAd: 20 + int(raw)*3,
+			Pairs:            1 + int(raw%30),
+		}
+		p, err := AuditPower(o)
+		if err != nil {
+			return false
+		}
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuditPowerValidation(t *testing.T) {
+	bad := []PowerOptions{
+		{Delta: 0, BaseRate: 0.5, ImpressionsPerAd: 10, Pairs: 1},
+		{Delta: 0.1, BaseRate: 1.2, ImpressionsPerAd: 10, Pairs: 1},
+		{Delta: 0.1, BaseRate: 0.5, ImpressionsPerAd: 0, Pairs: 1},
+		{Delta: 0.1, BaseRate: 0.5, ImpressionsPerAd: 10, Pairs: 0},
+	}
+	for i, o := range bad {
+		if _, err := AuditPower(o); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestMinimumPairs(t *testing.T) {
+	o := PowerOptions{Delta: 0.05, BaseRate: 0.5, ImpressionsPerAd: 180}
+	k, err := MinimumPairs(o, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 2 {
+		t.Fatalf("suspiciously few pairs: %d", k)
+	}
+	// Exactly k pairs reaches the target; k-1 does not.
+	o.Pairs = k
+	pk, _ := AuditPower(o)
+	if pk < 0.95 {
+		t.Errorf("power at k=%d is %v", k, pk)
+	}
+	o.Pairs = k - 1
+	if pkm, _ := AuditPower(o); pkm >= 0.95 {
+		t.Errorf("power at k-1=%d already %v", k-1, pkm)
+	}
+	if _, err := MinimumPairs(o, 1.5); err == nil {
+		t.Error("bad target power: want error")
+	}
+	tiny := PowerOptions{Delta: 1e-6, BaseRate: 0.5, ImpressionsPerAd: 1}
+	if _, err := MinimumPairs(tiny, 0.999); err == nil {
+		t.Error("unreachable power: want error")
+	}
+}
+
+func TestSimulatedPowerMatchesAnalytic(t *testing.T) {
+	o := PowerOptions{Delta: 0.1, BaseRate: 0.5, ImpressionsPerAd: 100, Pairs: 5}
+	analytic, err := AuditPower(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated, err := SimulatedPower(o, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simulated-analytic) > 0.08 {
+		t.Errorf("simulated %v vs analytic %v", simulated, analytic)
+	}
+	if _, err := SimulatedPower(o, 10, 1); err == nil {
+		t.Error("too few trials: want error")
+	}
+	big := o
+	big.Delta = 0.3
+	big.BaseRate = 0.9 // p1 = 1.05: infeasible
+	if _, err := SimulatedPower(big, 200, 1); err == nil {
+		t.Error("delta too large for base rate: want error")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Check is one automated shape-agreement check against a published finding.
+type Check struct {
+	ID          string
+	Description string
+	Pass        bool
+	Detail      string
+}
+
+// check builds a Check with a formatted detail line.
+func check(id, desc string, pass bool, format string, args ...any) Check {
+	return Check{ID: id, Description: desc, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+}
+
+// ShapeChecks evaluates the DESIGN.md success criteria programmatically: for
+// each headline finding in the paper, does the reproduction show the same
+// direction, dominance, and significance pattern? Inputs may be nil; checks
+// that lack their input are skipped.
+func ShapeChecks(stock *StockResult, capped *StockResult, syn *SyntheticResult, emp *EmploymentResult, pov *PovertyResult, val *ValidationResult) []Check {
+	var out []Check
+	if stock != nil {
+		t4 := stock.Table4
+		black, _ := t4.Black.Coefficient("Black")
+		out = append(out, check("S1",
+			"images of Black people deliver substantially more to Black users (Table 4a Black ***)",
+			black > 0.05 && t4.Black.Significant("Black", 0.001),
+			"coef %+0.4f (paper +0.1812***)", black))
+		dominant := true
+		for _, name := range []string{"Female", "Child", "Teen", "Middle-aged", "Elderly"} {
+			if c, _ := t4.Black.Coefficient(name); math.Abs(c) >= black {
+				dominant = false
+			}
+		}
+		out = append(out, check("S2",
+			"implied race dominates every other term in the %Black model",
+			dominant, "Black %+0.4f vs others", black))
+		intercept := t4.Black.Coef[0]
+		out = append(out, check("S3",
+			"balanced audiences deliver majority-Black at equal budgets (intercept > 0.4)",
+			intercept > 0.4, "intercept %0.4f (paper 0.5697)", intercept))
+		child, _ := t4.Female.Coefficient("Child")
+		out = append(out, check("S4",
+			"images of children deliver to women (Table 4a Child *** in %Female)",
+			child > 0.02 && t4.Female.Significant("Child", 0.01),
+			"coef %+0.4f (paper +0.0924***)", child))
+		elderly, _ := t4.Age.Coefficient("Elderly")
+		out = append(out, check("S5",
+			"images of elderly people deliver to the oldest users (Table 4a Elderly in %65+)",
+			elderly > 0.01 && t4.Age.Significant("Elderly", 0.05),
+			"coef %+0.4f (paper +0.1180***)", elderly))
+		// Figure 4A: teen-woman images spike among men 55+.
+		pts := Figure4(stock.Deliveries)
+		teenSpike := false
+		for _, p := range pts {
+			if p.ImpliedAge == "teen" && p.FemImgMen55 > p.MaleImgMen55 {
+				teenSpike = true
+			}
+		}
+		out = append(out, check("S6",
+			"teen-woman images reach disproportionately many men 55+ (Figure 4A)",
+			teenSpike, "see Figure 4 series"))
+		leak, _ := GroupMean(stock.Deliveries, func(*Delivery) bool { return true },
+			func(d *Delivery) float64 { return d.OutOfState })
+		out = append(out, check("S7",
+			"out-of-target-state delivery below ~1% (§3.3)",
+			leak < 0.015, "leakage %.2f%% (paper <1%%)", 100*leak))
+	}
+	if capped != nil {
+		black, _ := capped.Table4.Black.Coefficient("Black")
+		out = append(out, check("S8",
+			"the race effect survives capping the audience age at 45 (Table 4b)",
+			black > 0.05 && capped.Table4.Black.Significant("Black", 0.001),
+			"coef %+0.4f (paper +0.2534***)", black))
+	}
+	if syn != nil {
+		black, _ := syn.Table4.Black.Coefficient("Black")
+		out = append(out, check("S9",
+			"synthetic faces reproduce the race effect — it is the demographics, not the photo (Table 4c)",
+			black > 0.05 && syn.Table4.Black.Significant("Black", 0.001),
+			"coef %+0.4f (paper +0.2344***)", black))
+		agree := 0
+		for _, c := range syn.Sweep {
+			if c.Classified.Gender == c.Target.Gender && c.Classified.Race == c.Target.Race {
+				agree++
+			}
+		}
+		out = append(out, check("S10",
+			"latent-direction edits hit their demographic targets (Figure 6)",
+			agree >= len(syn.Sweep)*4/5, "%d/%d variants classified as requested", agree, len(syn.Sweep)))
+	}
+	if emp != nil {
+		c, _ := emp.Table5.RaceOverall.Coefficient("Implied: Black")
+		p, _ := emp.Table5.RaceOverall.PValueOf("Implied: Black")
+		out = append(out, check("S11",
+			"employment ads show a congruent race skew (Table 5 model III positive ***)",
+			c > 0 && p < 0.05, "coef %+0.4f p=%.2g (paper +0.105***)", c, p))
+		cg, _ := emp.Table5.GenderOverall.Coefficient("Implied: female")
+		out = append(out, check("S12",
+			"no systematic gender skew in employment ads (Table 5 models IV-VI)",
+			math.Abs(cg) < 0.06 && math.Abs(cg) < math.Abs(c)/2,
+			"gender coef %+0.4f vs race %+0.4f (paper +0.002 ns)", cg, c))
+		share := CongruentRaceShare(emp.RacePanel)
+		out = append(out, check("S13",
+			"the vast majority of job pairs skew congruently on race (Figure 7A)",
+			share >= 0.6, "%.0f%% congruent", 100*share))
+	}
+	if pov != nil {
+		c, _ := pov.TableA1.Coefficient("Black")
+		out = append(out, check("S14",
+			"the race effect survives poverty matching (Table A1 Black **)",
+			c > 0.02 && pov.TableA1.Significant("Black", 0.05),
+			"coef %+0.4f (paper +0.0849**)", c))
+		out = append(out, check("S15",
+			"poverty matching removes the economic confound (Welch p large after)",
+			pov.PostTest.P > 0.05 || math.Abs(pov.PostTest.DeltaM) < 0.005,
+			"post-matching Δ=%.4f p=%.2g", pov.PostTest.DeltaM, pov.PostTest.P))
+	}
+	if val != nil {
+		out = append(out, check("S16",
+			"the Figure 2 race inference matches the oracle truth",
+			val.MeanAbsError < 0.05, "mean abs error %.4f over %d ads", val.MeanAbsError, val.Ads))
+	}
+	return out
+}
+
+// AllPass reports whether every check passed.
+func AllPass(checks []Check) bool {
+	for _, c := range checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return len(checks) > 0
+}

@@ -1,0 +1,195 @@
+package gan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/adaudit/impliedidentity/internal/stats"
+)
+
+// Direction is a latent direction in activation space: the fitted
+// coefficient vector of a regression of attribute labels on activations
+// (§5.4: "the fitted coefficients of the regression model are precisely the
+// vector in the activation space that represents the direction of change").
+type Direction struct {
+	Name string
+	Vec  []float64 // unit length
+}
+
+// SGDOptions configures the stochastic-gradient fits used for direction
+// discovery. Full-Newton logistic regression is quadratic in the activation
+// dimension; gradient descent keeps direction fitting linear, which is what
+// makes the 18×width activation space tractable.
+type SGDOptions struct {
+	Epochs    int     // default 40
+	LearnRate float64 // default 0.5
+	Momentum  float64 // default 0.9
+	L2        float64 // default 1e-3
+	Seed      int64   // shuffling seed
+}
+
+func (o *SGDOptions) setDefaults() {
+	if o.Epochs == 0 {
+		o.Epochs = 40
+	}
+	if o.LearnRate == 0 {
+		o.LearnRate = 0.5
+	}
+	if o.Momentum == 0 {
+		o.Momentum = 0.9
+	}
+	if o.L2 == 0 {
+		o.L2 = 1e-3
+	}
+}
+
+// FitLogisticDirection fits a logistic regression of binary labels on
+// activation vectors by momentum SGD and returns the normalized coefficient
+// vector. Used for the gender direction (female vs male) and each race
+// direction (target race vs white distractor).
+func FitLogisticDirection(name string, acts [][]float64, labels []float64, opt SGDOptions) (Direction, error) {
+	if err := checkFitInputs(acts, labels); err != nil {
+		return Direction{}, err
+	}
+	opt.setDefaults()
+	dim := len(acts[0])
+	w := make([]float64, dim)
+	vel := make([]float64, dim)
+	var b, bVel float64
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := len(acts)
+	order := rng.Perm(n)
+	lr := opt.LearnRate
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		// Fisher-Yates reshuffle per epoch for SGD independence.
+		for i := n - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, i := range order {
+			x := acts[i]
+			z := b
+			for j, v := range x {
+				z += w[j] * v
+			}
+			g := stats.Sigmoid(z) - labels[i] // d(logloss)/dz
+			bVel = opt.Momentum*bVel - lr*g
+			b += bVel
+			for j, v := range x {
+				grad := g*v + opt.L2*w[j]
+				vel[j] = opt.Momentum*vel[j] - lr*grad
+				w[j] += vel[j]
+			}
+		}
+		lr *= 0.95
+	}
+	return normalizedDirection(name, w)
+}
+
+// FitLinearDirection fits a least-squares regression of a continuous target
+// (the paper's age model) on activation vectors by momentum SGD and returns
+// the normalized coefficient vector. Targets are standardized internally.
+func FitLinearDirection(name string, acts [][]float64, targets []float64, opt SGDOptions) (Direction, error) {
+	if err := checkFitInputs(acts, targets); err != nil {
+		return Direction{}, err
+	}
+	opt.setDefaults()
+	mean := stats.Mean(targets)
+	sd := stats.StdDev(targets)
+	if sd == 0 {
+		return Direction{}, fmt.Errorf("gan: constant target for direction %q", name)
+	}
+	y := make([]float64, len(targets))
+	for i, t := range targets {
+		y[i] = (t - mean) / sd
+	}
+	dim := len(acts[0])
+	w := make([]float64, dim)
+	var b float64
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := len(acts)
+	order := rng.Perm(n)
+	// Normalized LMS: the per-sample step is divided by 1+|x|², which keeps
+	// the update stable for any feature scale or dimension.
+	lr := 0.5
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		for i := n - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, i := range order {
+			x := acts[i]
+			z := b
+			var xx float64
+			for j, v := range x {
+				z += w[j] * v
+				xx += v * v
+			}
+			g := (z - y[i]) / (1 + xx)
+			b -= lr * g
+			for j, v := range x {
+				w[j] -= lr * (g*v + opt.L2*w[j]/float64(n))
+			}
+		}
+	}
+	return normalizedDirection(name, w)
+}
+
+func checkFitInputs(acts [][]float64, labels []float64) error {
+	if len(acts) == 0 {
+		return fmt.Errorf("gan: no activation samples")
+	}
+	if len(acts) != len(labels) {
+		return fmt.Errorf("gan: %d samples but %d labels", len(acts), len(labels))
+	}
+	dim := len(acts[0])
+	for i, a := range acts {
+		if len(a) != dim {
+			return fmt.Errorf("gan: sample %d has dim %d, want %d", i, len(a), dim)
+		}
+	}
+	return nil
+}
+
+func normalizedDirection(name string, w []float64) (Direction, error) {
+	var norm float64
+	for _, v := range w {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 || math.IsNaN(norm) || math.IsInf(norm, 0) {
+		return Direction{}, fmt.Errorf("gan: degenerate direction %q (norm %v)", name, norm)
+	}
+	out := make([]float64, len(w))
+	for i, v := range w {
+		out[i] = v / norm
+	}
+	return Direction{Name: name, Vec: out}, nil
+}
+
+// Walk returns a copy of the activation vector moved alpha units along the
+// direction. Positive alpha adds the attribute the direction models.
+func Walk(acts []float64, dir Direction, alpha float64) []float64 {
+	out := make([]float64, len(acts))
+	for i, v := range acts {
+		out[i] = v + alpha*dir.Vec[i]
+	}
+	return out
+}
+
+// Cosine returns the cosine similarity of two directions — the diagnostic
+// used to verify that independently fitted attribute directions are close to
+// orthogonal (so walking one holds the others approximately constant).
+func Cosine(a, b Direction) float64 {
+	var num, na, nb float64
+	for i := range a.Vec {
+		num += a.Vec[i] * b.Vec[i]
+		na += a.Vec[i] * a.Vec[i]
+		nb += b.Vec[i] * b.Vec[i]
+	}
+	if na == 0 || nb == 0 {
+		return math.NaN()
+	}
+	return num / math.Sqrt(na*nb)
+}

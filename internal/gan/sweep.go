@@ -1,0 +1,184 @@
+package gan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/face"
+	"github.com/adaudit/impliedidentity/internal/image"
+)
+
+// DirectionSet bundles the three latent directions the study manipulates.
+type DirectionSet struct {
+	Gender Direction // toward female presentation
+	Race   Direction // toward Black presentation (white distractor)
+	Age    Direction // toward older apparent age
+}
+
+// DiscoverDirections runs the §5.4 pipeline: sample nSamples random faces,
+// label each with the classifier (the Deepface stand-in), then fit one
+// logistic regression per binary attribute and one linear regression for
+// age, all on the flattened activation vectors. The returned directions
+// inherit whatever biases the classifier has — by construction, exactly as
+// in the paper.
+func DiscoverDirections(net *Network, clf *face.Classifier, nSamples int, rng *rand.Rand, opt SGDOptions) (DirectionSet, []*Face, error) {
+	if nSamples < 50 {
+		return DirectionSet{}, nil, fmt.Errorf("gan: %d samples too few for direction discovery", nSamples)
+	}
+	faces, err := net.SampleBatch(nSamples, rng)
+	if err != nil {
+		return DirectionSet{}, nil, err
+	}
+	acts := make([][]float64, nSamples)
+	gLabels := make([]float64, nSamples)
+	rLabels := make([]float64, nSamples)
+	ages := make([]float64, nSamples)
+	for i, f := range faces {
+		acts[i] = f.Activations
+		if g, _ := clf.Gender(f.Image); g == demo.GenderFemale {
+			gLabels[i] = 1
+		}
+		if r, _ := clf.Race(f.Image); r == demo.RaceBlack {
+			rLabels[i] = 1
+		}
+		ages[i] = clf.AgeYears(f.Image)
+	}
+	var ds DirectionSet
+	if ds.Gender, err = FitLogisticDirection("female", acts, gLabels, opt); err != nil {
+		return DirectionSet{}, nil, fmt.Errorf("gan: gender direction: %w", err)
+	}
+	if ds.Race, err = FitLogisticDirection("black", acts, rLabels, opt); err != nil {
+		return DirectionSet{}, nil, fmt.Errorf("gan: race direction: %w", err)
+	}
+	if ds.Age, err = FitLinearDirection("age", acts, ages, opt); err != nil {
+		return DirectionSet{}, nil, fmt.Errorf("gan: age direction: %w", err)
+	}
+	return ds, faces, nil
+}
+
+// tuneBinary walks the activations along dir to the alpha whose synthesized
+// image the classifier scores closest to target (0..1), scanning a fixed
+// grid then refining once. score must be the classifier probability of the
+// attribute the direction adds.
+func tuneBinary(net *Network, acts []float64, dir Direction, score func(image.Features) float64, target float64) ([]float64, error) {
+	best := acts
+	bestErr := 1e18
+	var bestAlpha float64
+	scan := func(center, halfWidth float64, steps int) error {
+		for k := 0; k <= steps; k++ {
+			alpha := center - halfWidth + 2*halfWidth*float64(k)/float64(steps)
+			cand := Walk(acts, dir, alpha)
+			img, err := net.Synthesize(cand)
+			if err != nil {
+				return err
+			}
+			if e := abs(score(img) - target); e < bestErr {
+				bestErr, best, bestAlpha = e, cand, alpha
+			}
+		}
+		return nil
+	}
+	if err := scan(0, 8, 64); err != nil {
+		return nil, err
+	}
+	if err := scan(bestAlpha, 0.25, 20); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// tuneAge walks along the age direction to match a target classified age.
+func tuneAge(net *Network, acts []float64, dir Direction, clf *face.Classifier, targetYears float64) ([]float64, error) {
+	best := acts
+	bestErr := 1e18
+	var bestAlpha float64
+	scan := func(center, halfWidth float64, steps int) error {
+		for k := 0; k <= steps; k++ {
+			alpha := center - halfWidth + 2*halfWidth*float64(k)/float64(steps)
+			cand := Walk(acts, dir, alpha)
+			img, err := net.Synthesize(cand)
+			if err != nil {
+				return err
+			}
+			if e := abs(clf.AgeYears(img) - targetYears); e < bestErr {
+				bestErr, best, bestAlpha = e, cand, alpha
+			}
+		}
+		return nil
+	}
+	if err := scan(0, 8, 64); err != nil {
+		return nil, err
+	}
+	if err := scan(bestAlpha, 0.25, 20); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// TuneToProfile edits a face's activations until the classifier assigns the
+// target implied profile, holding everything else as constant as the
+// near-orthogonal directions allow (§4.2: "we construct these images such
+// that a machine learning library classifies their gender or race according
+// to our hints"). Two coordinate passes absorb the small cross-talk between
+// directions.
+func TuneToProfile(net *Network, clf *face.Classifier, ds DirectionSet, acts []float64, target demo.Profile) ([]float64, image.Features, error) {
+	// Target near-saturated classifier scores: stock photos of each group
+	// score ≈ 0.98 / 0.02, and the tuned variants must imply demographics
+	// as strongly as the stock images they are compared against (§5.5).
+	genderTarget := 0.03
+	if target.Gender == demo.GenderFemale {
+		genderTarget = 0.97
+	}
+	raceTarget := 0.03
+	if target.Race == demo.RaceBlack {
+		raceTarget = 0.97
+	}
+	cur := acts
+	var err error
+	for pass := 0; pass < 2; pass++ {
+		if cur, err = tuneBinary(net, cur, ds.Race, clf.RaceScore, raceTarget); err != nil {
+			return nil, image.Features{}, err
+		}
+		if cur, err = tuneBinary(net, cur, ds.Gender, clf.GenderScore, genderTarget); err != nil {
+			return nil, image.Features{}, err
+		}
+		if cur, err = tuneAge(net, cur, ds.Age, clf, target.Age.RepresentativeYears()); err != nil {
+			return nil, image.Features{}, err
+		}
+	}
+	img, err := net.Synthesize(cur)
+	if err != nil {
+		return nil, image.Features{}, err
+	}
+	return cur, img, nil
+}
+
+// Variant is one tuned image of a source person.
+type Variant struct {
+	Target      demo.Profile
+	Activations []float64
+	Image       image.Features
+}
+
+// VariantGrid generates the §5.5 image set for one source face: the 20
+// demographic combinations (2 genders × 2 races × 5 implied ages) of the
+// same "person".
+func VariantGrid(net *Network, clf *face.Classifier, ds DirectionSet, source *Face) ([]Variant, error) {
+	var out []Variant
+	for _, p := range demo.AllProfiles() {
+		acts, img, err := TuneToProfile(net, clf, ds, source.Activations, p)
+		if err != nil {
+			return nil, fmt.Errorf("gan: tuning to %v: %w", p, err)
+		}
+		out = append(out, Variant{Target: p, Activations: acts, Image: img})
+	}
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,45 @@
+package image
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GroupPhoto composes several headshots into one creative — the "images
+// with a diverse group of faces" case the paper lists as future work (§7).
+//
+// The composite's person axes are the members' means: this models how a
+// face-attribute pipeline that averages per-face scores perceives a group
+// shot. A two-person image of one white and one Black person therefore sits
+// near the middle of the race axis, and the E14 extension experiment checks
+// whether that translates into more balanced delivery than either
+// single-person image produces. Apparent age is likewise the mean, and the
+// nuisance bank is re-rolled (a group composition is a different photo).
+func GroupPhoto(faces []Features, rng *rand.Rand) (Features, error) {
+	if len(faces) == 0 {
+		return Features{}, fmt.Errorf("image: group photo needs at least one face")
+	}
+	job := faces[0].Job
+	out := Features{HasPerson: true, Job: job}
+	for i := range faces {
+		f := &faces[i]
+		if !f.HasPerson {
+			return Features{}, fmt.Errorf("image: group member %d has no person", i)
+		}
+		if f.Job != job {
+			return Features{}, fmt.Errorf("image: group members advertise different jobs (%q vs %q)", f.Job, job)
+		}
+		out.GenderAxis += f.GenderAxis
+		out.RaceAxis += f.RaceAxis
+		out.AgeYears += f.AgeYears
+	}
+	n := float64(len(faces))
+	out.GenderAxis /= n
+	out.RaceAxis /= n
+	out.AgeYears /= n
+	for i := range out.Nuisance {
+		out.Nuisance[i] = 0.5 * rng.NormFloat64()
+	}
+	out.ApplyPresentationBias()
+	return out, nil
+}

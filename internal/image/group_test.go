@@ -1,0 +1,95 @@
+package image
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+)
+
+func TestGroupPhotoAveragesPersonAxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	white := FromProfile(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedAdult})
+	black := FromProfile(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceBlack, Age: demo.ImpliedElderly})
+	g, err := GroupPhoto([]Features{white, black}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasPerson {
+		t.Error("group photo should contain people")
+	}
+	if want := (white.RaceAxis + black.RaceAxis) / 2; math.Abs(g.RaceAxis-want) > 1e-12 {
+		t.Errorf("race axis %v, want %v", g.RaceAxis, want)
+	}
+	if want := (white.AgeYears + black.AgeYears) / 2; math.Abs(g.AgeYears-want) > 1e-12 {
+		t.Errorf("age %v, want %v", g.AgeYears, want)
+	}
+}
+
+func TestGroupPhotoErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := GroupPhoto(nil, rng); err == nil {
+		t.Error("empty group: want error")
+	}
+	face := FromProfile(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedAdult})
+	if _, err := GroupPhoto([]Features{face, {}}, rng); err == nil {
+		t.Error("member without a person: want error")
+	}
+	a := face
+	a.Job = "lumber"
+	b := face
+	b.Job = "nurse"
+	if _, err := GroupPhoto([]Features{a, b}, rng); err == nil {
+		t.Error("mixed jobs: want error")
+	}
+}
+
+func TestGroupPhotoSingleMemberProperty(t *testing.T) {
+	// Property: a one-person "group" keeps that person's axes exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := demo.AllProfiles()[int(uint64(seed)%20)]
+		face := FromProfile(p)
+		face.GenderAxis += 0.1 * rng.NormFloat64()
+		g, err := GroupPhoto([]Features{face}, rng)
+		if err != nil {
+			return false
+		}
+		return g.GenderAxis-face.GenderAxis < 1e-12 && face.GenderAxis-g.GenderAxis < 1e-12 &&
+			g.RaceAxis == face.RaceAxis && g.AgeYears == face.AgeYears
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupPhotoBoundedAxesProperty(t *testing.T) {
+	// Property: group axes stay within the members' min/max (convexity of
+	// the mean).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		faces := make([]Features, n)
+		minR, maxR := math.Inf(1), math.Inf(-1)
+		for i := range faces {
+			p := demo.AllProfiles()[rng.Intn(20)]
+			faces[i] = FromProfile(p)
+			if faces[i].RaceAxis < minR {
+				minR = faces[i].RaceAxis
+			}
+			if faces[i].RaceAxis > maxR {
+				maxR = faces[i].RaceAxis
+			}
+		}
+		g, err := GroupPhoto(faces, rng)
+		if err != nil {
+			return false
+		}
+		return g.RaceAxis >= minR-1e-12 && g.RaceAxis <= maxR+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package marketing
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is the advertiser-side API client the audit tooling uses. Requests
+// are serialized and optionally rate-limited, mirroring the paper's polite
+// data-collection posture (§4.1: "collecting the delivery data from a single
+// vantage point without parallelizing queries").
+type Client struct {
+	baseURL string
+	http    *http.Client
+
+	mu          sync.Mutex
+	minInterval time.Duration
+	lastRequest time.Time
+}
+
+// NewClient builds a client for the API at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("marketing: invalid base URL %q", baseURL)
+	}
+	return &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		http:    &http.Client{Timeout: 10 * time.Minute},
+	}, nil
+}
+
+// APIError is a non-2xx response from the API.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("marketing: API error %d: %s", e.StatusCode, e.Message)
+}
+
+// SetMinInterval enforces a minimum delay between consecutive API requests.
+// Zero disables throttling (the default; the in-process simulator needs no
+// politeness, but external deployments of the platform server do).
+func (c *Client) SetMinInterval(d time.Duration) {
+	c.mu.Lock()
+	c.minInterval = d
+	c.mu.Unlock()
+}
+
+// throttle serializes requests and enforces the minimum interval.
+func (c *Client) throttle() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.minInterval > 0 {
+		if wait := c.minInterval - time.Since(c.lastRequest); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	c.lastRequest = time.Now()
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	c.throttle()
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("marketing: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.baseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("marketing: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr ErrorResponse
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("marketing: decoding response: %w", err)
+	}
+	return nil
+}
+
+// CreateAudience uploads PII hashes and returns the matched audience.
+func (c *Client) CreateAudience(name string, piiHashes []string) (*CreateAudienceResponse, error) {
+	var out CreateAudienceResponse
+	err := c.do(http.MethodPost, "/v1/customaudiences", CreateAudienceRequest{Name: name, PIIHashes: piiHashes}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CreateCampaign registers a campaign.
+func (c *Client) CreateCampaign(req CreateCampaignRequest) (*CreateCampaignResponse, error) {
+	var out CreateCampaignResponse
+	if err := c.do(http.MethodPost, "/v1/campaigns", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CreateAd creates one ad and reports its review status.
+func (c *Client) CreateAd(req CreateAdRequest) (*AdResponse, error) {
+	var out AdResponse
+	if err := c.do(http.MethodPost, "/v1/ads", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AppealAd appeals a rejected ad.
+func (c *Client) AppealAd(adID string) (*AdResponse, error) {
+	var out AdResponse
+	if err := c.do(http.MethodPost, "/v1/ads/"+url.PathEscape(adID)+"/appeal", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetAd fetches an ad's status.
+func (c *Client) GetAd(adID string) (*AdResponse, error) {
+	var out AdResponse
+	if err := c.do(http.MethodGet, "/v1/ads/"+url.PathEscape(adID), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Deliver runs the listed ads for one simulated day.
+func (c *Client) Deliver(adIDs []string, seed int64) error {
+	return c.do(http.MethodPost, "/v1/deliver", DeliverRequest{AdIDs: adIDs, Seed: seed}, nil)
+}
+
+// Insights fetches the delivery report for an ad with the full
+// age×gender×region breakdown.
+func (c *Client) Insights(adID string) (*InsightsResponse, error) {
+	var out InsightsResponse
+	if err := c.do(http.MethodGet, "/v1/insights?ad_id="+url.QueryEscape(adID), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// InsightsBreakdown fetches the delivery report broken down by only the
+// requested dimensions (any of "age", "gender", "region").
+func (c *Client) InsightsBreakdown(adID string, dims ...string) (*InsightsResponse, error) {
+	var out InsightsResponse
+	path := "/v1/insights?ad_id=" + url.QueryEscape(adID) + "&breakdown=" + url.QueryEscape(strings.Join(dims, ","))
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,246 @@
+package marketing
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/adaudit/impliedidentity/internal/platform"
+)
+
+// Server wraps a platform in the HTTP API. It is safe for concurrent use:
+// the underlying platform is single-threaded, so the server serializes
+// mutating calls with a mutex (as a real API would serialize per-account
+// writes).
+type Server struct {
+	mu sync.Mutex
+	p  *platform.Platform
+}
+
+// NewServer wraps a platform.
+func NewServer(p *platform.Platform) (*Server, error) {
+	if p == nil {
+		return nil, fmt.Errorf("marketing: nil platform")
+	}
+	return &Server{p: p}, nil
+}
+
+// Handler returns the API routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/customaudiences", s.handleCreateAudience)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
+	mux.HandleFunc("POST /v1/ads", s.handleCreateAd)
+	mux.HandleFunc("POST /v1/ads/{id}/appeal", s.handleAppeal)
+	mux.HandleFunc("GET /v1/ads/{id}", s.handleGetAd)
+	mux.HandleFunc("POST /v1/deliver", s.handleDeliver)
+	mux.HandleFunc("GET /v1/insights", s.handleInsights)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding failures after the header is written can only be logged by
+	// the caller's transport; the types here are all marshalable.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var v T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("marketing: malformed request: %w", err))
+		return v, false
+	}
+	return v, true
+}
+
+func (s *Server) handleCreateAudience(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[CreateAudienceRequest](w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	ca, err := s.p.CreateCustomAudience(req.Name, req.PIIHashes)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateAudienceResponse{ID: ca.ID, MatchedSize: ca.Size})
+}
+
+func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[CreateCampaignRequest](w, r)
+	if !ok {
+		return
+	}
+	obj, err := platform.ParseObjective(req.Objective)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	special, err := platform.ParseSpecialAdCategory(req.SpecialAdCategory)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	c, err := s.p.CreateCampaign(req.Name, obj, special, req.AccountAge)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateCampaignResponse{ID: c.ID})
+}
+
+func (s *Server) handleCreateAd(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[CreateAdRequest](w, r)
+	if !ok {
+		return
+	}
+	img, err := req.Creative.Image.ToFeatures()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	targeting, err := req.Targeting.ToTargeting()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	creative := platform.Creative{
+		Image:    img,
+		Headline: req.Creative.Headline,
+		Body:     req.Creative.Body,
+		LinkURL:  req.Creative.LinkURL,
+	}
+	s.mu.Lock()
+	ad, err := s.p.CreateAd(req.CampaignID, creative, targeting, req.DailyBudgetCents)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, AdResponse{ID: ad.ID, Status: ad.Status.String()})
+}
+
+func (s *Server) handleAppeal(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ad, err := s.p.AppealAd(id)
+	s.mu.Unlock()
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "unknown ad") {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdResponse{ID: ad.ID, Status: ad.Status.String()})
+}
+
+func (s *Server) handleGetAd(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ad, err := s.p.Ad(id)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdResponse{ID: ad.ID, Status: ad.Status.String()})
+}
+
+func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[DeliverRequest](w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	err := s.p.RunDay(req.AdIDs, req.Seed)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeliverResponse{Delivered: len(req.AdIDs)})
+}
+
+func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
+	adID := r.URL.Query().Get("ad_id")
+	if adID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("marketing: ad_id query parameter required"))
+		return
+	}
+	// The breakdown parameter selects reporting dimensions, like the real
+	// Insights API's `breakdowns`; omitted dimensions are aggregated out.
+	dims := map[string]bool{"age": true, "gender": true, "region": true}
+	if raw := r.URL.Query().Get("breakdown"); raw != "" {
+		dims = map[string]bool{}
+		for _, d := range strings.Split(raw, ",") {
+			switch d {
+			case "age", "gender", "region":
+				dims[d] = true
+			default:
+				writeError(w, http.StatusBadRequest, fmt.Errorf("marketing: unknown breakdown dimension %q", d))
+				return
+			}
+		}
+	}
+	s.mu.Lock()
+	st, err := s.p.Insights(adID)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp := InsightsResponse{
+		AdID:        st.AdID,
+		Impressions: st.Impressions,
+		Reach:       st.Reach,
+		Clicks:      st.Clicks,
+		SpendCents:  st.SpendCents,
+		Hourly:      append([]int(nil), st.HourlySeries...),
+	}
+	agg := map[BreakdownRow]int{}
+	for k, n := range st.Breakdown {
+		row := BreakdownRow{}
+		if dims["age"] {
+			row.Age = k.Age.String()
+		}
+		if dims["gender"] {
+			row.Gender = k.Gender.String()
+		}
+		if dims["region"] {
+			row.Region = k.Region.String()
+		}
+		agg[row] += n
+	}
+	for row, n := range agg {
+		row.Impressions = n
+		resp.Breakdown = append(resp.Breakdown, row)
+	}
+	sort.Slice(resp.Breakdown, func(i, j int) bool {
+		a, b := resp.Breakdown[i], resp.Breakdown[j]
+		if a.Age != b.Age {
+			return a.Age < b.Age
+		}
+		if a.Gender != b.Gender {
+			return a.Gender < b.Gender
+		}
+		return a.Region < b.Region
+	})
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,99 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/adaudit/impliedidentity/internal/population"
+)
+
+// CustomAudience is a PII-matched user list (§2.1: "the advertiser can
+// provide the platform with the list of personally identifiable
+// information… thereby specifying precisely who is in the target audience").
+// The platform only ever reports the matched size, never which users
+// matched.
+type CustomAudience struct {
+	ID      string
+	Name    string
+	Size    int   // matched accounts
+	members []int // population indexes; internal, never exposed via the API
+}
+
+// UploadRecord is one row of an audience upload: the advertiser-side PII,
+// hashed client-side before transmission as real platforms require.
+type UploadRecord struct {
+	FirstName string
+	LastName  string
+	Address   string
+	ZIP       string
+}
+
+// Hash returns the normalized PII hash for the row.
+func (r UploadRecord) Hash() string {
+	return population.HashPII(r.FirstName, r.LastName, r.Address, r.ZIP)
+}
+
+// CreateCustomAudience matches a list of PII hashes against the user base
+// and registers the audience. Duplicate hashes are tolerated (matched once).
+func (p *Platform) CreateCustomAudience(name string, piiHashes []string) (*CustomAudience, error) {
+	if name == "" {
+		return nil, fmt.Errorf("platform: custom audience needs a name")
+	}
+	if len(piiHashes) == 0 {
+		return nil, fmt.Errorf("platform: custom audience %q: empty upload", name)
+	}
+	ca := &CustomAudience{
+		ID:   fmt.Sprintf("ca-%d", len(p.audiences)+1),
+		Name: name,
+	}
+	seen := map[int]bool{}
+	for _, h := range piiHashes {
+		u, ok := p.pop.LookupPII(h)
+		if !ok || seen[u.ID] {
+			continue
+		}
+		seen[u.ID] = true
+		ca.members = append(ca.members, u.ID)
+	}
+	ca.Size = len(ca.members)
+	p.audiences[ca.ID] = ca
+	return ca, nil
+}
+
+// Audience returns a registered audience by ID.
+func (p *Platform) Audience(id string) (*CustomAudience, error) {
+	ca, ok := p.audiences[id]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown custom audience %q", id)
+	}
+	return ca, nil
+}
+
+// resolveAudience computes the final targeted user set for an ad: the union
+// of its Custom Audiences filtered by the attribute limits.
+func (p *Platform) resolveAudience(t *Targeting) ([]int, error) {
+	inUnion := map[int]bool{}
+	for _, id := range t.CustomAudienceIDs {
+		ca, err := p.Audience(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, idx := range ca.members {
+			inUnion[idx] = true
+		}
+	}
+	var out []int
+	for idx := range inUnion {
+		if t.matchesUser(&p.pop.Users[idx]) {
+			out = append(out, idx)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("platform: targeting matches no users")
+	}
+	// Map iteration order is randomized per process; the audience order
+	// feeds seeded RNG consumption downstream, so sort for run-to-run
+	// determinism.
+	sort.Ints(out)
+	return out, nil
+}

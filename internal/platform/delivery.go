@@ -1,0 +1,313 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/population"
+)
+
+// BreakdownKey is one cell of the insights breakdown: age bucket × gender ×
+// delivery region. Region is the state the user was in when the impression
+// was served — the quantity the race-measurement methodology reads (§3.3).
+type BreakdownKey struct {
+	Age    demo.AgeBucket
+	Gender demo.Gender
+	Region demo.State
+}
+
+// AdStats is the delivery report for one ad, mirroring the Insights API's
+// advertiser-visible surface: counts only, never user identities (§2.1,
+// Reporting).
+type AdStats struct {
+	AdID        string
+	Impressions int
+	Reach       int
+	Clicks      int
+	SpendCents  float64
+	Breakdown   map[BreakdownKey]int // impressions per cell
+	// HourlySeries is impressions per pacing tick, the shape of spend over
+	// the simulated day (real insights expose hourly delivery the same
+	// way). Its sum equals Impressions.
+	HourlySeries []int
+
+	// RaceOracle counts impressions by the recipient's true self-reported
+	// race. It is a simulator-only instrument for validating the §3.3
+	// inference methodology (experiment E11) and is never exposed through
+	// the marketing API — a real advertiser cannot observe it.
+	RaceOracle map[demo.Race]int
+}
+
+// Insights returns the delivery report for an ad. It fails for ads that
+// have not delivered yet.
+func (p *Platform) Insights(adID string) (*AdStats, error) {
+	s, ok := p.stats[adID]
+	if !ok {
+		return nil, fmt.Errorf("platform: no delivery data for ad %q", adID)
+	}
+	return s, nil
+}
+
+// RunDay delivers all the given ads over one simulated 24-hour window. Per
+// the audit protocol (§3.2), ads launched together experience the same
+// running environment: one shared auction per ad slot. Ads must be Active;
+// rejected ads are skipped with their status preserved (the Appendix A
+// analysis depends on knowing which were rejected). After the run every
+// delivered ad is StatusCompleted and its insights are frozen.
+func (p *Platform) RunDay(adIDs []string, seed int64) error {
+	var active []*Ad
+	for _, id := range adIDs {
+		ad, err := p.Ad(id)
+		if err != nil {
+			return err
+		}
+		switch ad.Status {
+		case StatusActive:
+			active = append(active, ad)
+		case StatusRejected:
+			// Skipped, not an error.
+		default:
+			return fmt.Errorf("platform: ad %s is %v, cannot deliver", id, ad.Status)
+		}
+	}
+	if len(active) == 0 {
+		return fmt.Errorf("platform: no active ads to deliver")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Index ads by targeted user and initialize per-run state.
+	adsByUser := map[int][]*Ad{}
+	for _, ad := range active {
+		ad.spent = 0
+		// Start the effective bid so that bid × (typical optimization term)
+		// lands near the competing demand level; the pacing controller
+		// refines from there. Without this, reach-optimized ads (term = 1)
+		// would burn their budget at eAR-scaled bids ~25× too high.
+		meanTerm := p.meanOptimizationTerm(ad)
+		ad.pacing = math.Min(math.Max(2*p.cfg.CompetitionBase/meanTerm, 0.005), 50)
+		p.stats[ad.ID] = &AdStats{
+			AdID:       ad.ID,
+			Breakdown:  map[BreakdownKey]int{},
+			RaceOracle: map[demo.Race]int{},
+		}
+		for _, idx := range ad.audience {
+			adsByUser[idx] = append(adsByUser[idx], ad)
+		}
+	}
+	users := make([]int, 0, len(adsByUser))
+	for idx := range adsByUser {
+		users = append(users, idx)
+	}
+	// Deterministic base order before the per-tick seeded shuffles.
+	sort.Ints(users)
+	reached := make(map[string]map[int]struct{}, len(active))
+	frequency := make(map[string]map[int]int, len(active))
+	for _, ad := range active {
+		reached[ad.ID] = map[int]struct{}{}
+		frequency[ad.ID] = map[int]int{}
+		p.stats[ad.ID].HourlySeries = make([]int, p.cfg.Ticks)
+	}
+
+	ticks := p.cfg.Ticks
+	for tick := 0; tick < ticks; tick++ {
+		// Budget pacing: adjust each ad's effective bid toward on-schedule
+		// spend (§2.1: "this process is called bid pacing"), and cap each
+		// tick's spend so the budget spreads over the whole day rather than
+		// dumping into the first slots.
+		elapsed := float64(tick) / float64(ticks)
+		for _, ad := range active {
+			budget := float64(ad.DailyBudgetCents) / 100
+			target := budget * elapsed
+			switch {
+			case ad.spent >= budget:
+				ad.pacing = 0 // budget exhausted
+			case ad.spent > target:
+				ad.pacing *= 0.82
+			default:
+				ad.pacing *= 1.25
+			}
+			ad.pacing = math.Min(ad.pacing, 50)
+			ad.tickSpent = 0
+			ad.tickCap = 2 * budget / float64(ticks)
+			if p.cfg.GreedyPacing {
+				// A5 ablation: no pacing control at all — bid high until
+				// the budget runs out.
+				ad.pacing = 5
+				ad.tickCap = budget
+			}
+		}
+		// Visit users in a fresh random order each tick so no ad's spend
+		// window correlates with a fixed slice of the audience.
+		rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+		for _, idx := range users {
+			u := &p.pop.Users[idx]
+			sessions := poisson(rng, u.Activity/float64(ticks))
+			for s := 0; s < sessions; s++ {
+				p.auction(rng, u, adsByUser[idx], tick, reached, frequency)
+			}
+		}
+	}
+	for _, ad := range active {
+		ad.Status = StatusCompleted
+		st := p.stats[ad.ID]
+		st.Reach = len(reached[ad.ID])
+		st.SpendCents = math.Round(ad.spent * 100)
+	}
+	return nil
+}
+
+// auction runs one ad slot: the eligible audit ads compete with each other
+// and with background advertiser demand; the winner pays the second price.
+func (p *Platform) auction(rng *rand.Rand, u *population.User, eligible []*Ad, tick int, reached map[string]map[int]struct{}, frequency map[string]map[int]int) {
+	bg := p.backgroundBid(rng, u)
+	var winner *Ad
+	best, second := bg, 0.0
+	// Random starting offset so exact-tie auctions don't systematically
+	// favor earlier-created ads.
+	off := 0
+	if len(eligible) > 1 {
+		off = rng.Intn(len(eligible))
+	}
+	for k := range eligible {
+		ad := eligible[(k+off)%len(eligible)]
+		if ad.pacing <= 0 || ad.spent >= float64(ad.DailyBudgetCents)/100 || ad.tickSpent >= ad.tickCap {
+			continue
+		}
+		if p.cfg.FrequencyCap > 0 && frequency[ad.ID][u.ID] >= p.cfg.FrequencyCap {
+			continue
+		}
+		value := ad.pacing*p.optimizationTerm(ad, u) + p.cfg.Quality
+		if p.cfg.ValueNoise > 0 {
+			sigma := p.cfg.ValueNoise
+			value *= math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+		}
+		if value > best {
+			second = best
+			best = value
+			winner = ad
+		} else if value > second {
+			second = value
+		}
+	}
+	if winner == nil {
+		return
+	}
+	price := math.Max(second, bg)
+	winner.spent += price
+	winner.tickSpent += price
+	st := p.stats[winner.ID]
+	st.Impressions++
+	st.HourlySeries[tick]++
+	st.Breakdown[BreakdownKey{
+		Age:    u.AgeBucket(),
+		Gender: u.Gender,
+		Region: p.deliveryRegion(rng, u),
+	}]++
+	st.RaceOracle[u.Race]++
+	reached[winner.ID][u.ID] = struct{}{}
+	frequency[winner.ID][u.ID]++
+	// Traffic objective: record clicks from ground-truth behaviour and log
+	// the served impression into the retraining buffer — the feedback loop
+	// Retrain closes.
+	clicked := rng.Float64() < p.behave.ClickProb(u, winner.Creative.Image)
+	if clicked {
+		st.Clicks++
+	}
+	p.recordServed(u.ID, winner, clicked)
+}
+
+// optimizationTerm computes the per-user multiplier the delivery objective
+// applies to the paced bid (§2.1). Awareness maximizes reach, so it ignores
+// the estimated action rate entirely; Traffic bids proportionally to eAR;
+// Conversions — the highest-intent objective — applies a sharper exponent,
+// concentrating delivery even harder on the users the model scores highest.
+// The paper ran everything under Traffic; experiment E13 varies this.
+func (p *Platform) optimizationTerm(ad *Ad, u *population.User) float64 {
+	if !p.cfg.UseEAR || ad.Objective == ObjectiveAwareness {
+		return 1
+	}
+	ear := ad.folded.rate(u)
+	if ad.Objective == ObjectiveConversions {
+		// ear^1.6, rescaled so a typical base rate keeps comparable
+		// magnitude and pacing dynamics.
+		return math.Pow(ear, 1.6) * 4
+	}
+	return ear
+}
+
+// meanOptimizationTerm estimates an ad's typical optimization term over a
+// sample of its audience, for bid initialization.
+func (p *Platform) meanOptimizationTerm(ad *Ad) float64 {
+	n := len(ad.audience)
+	if n == 0 {
+		return 1
+	}
+	step := n/200 + 1
+	var sum float64
+	var count int
+	for i := 0; i < n; i += step {
+		sum += p.optimizationTerm(ad, &p.pop.Users[ad.audience[i]])
+		count++
+	}
+	if count == 0 || sum <= 0 {
+		return 1
+	}
+	return sum / float64(count)
+}
+
+// backgroundBid draws the highest competing total value for a slot.
+// Competition is stiffer for younger users, making them more expensive for
+// a budget-paced ad to win.
+func (p *Platform) backgroundBid(rng *rand.Rand, u *population.User) float64 {
+	ageFactor := 1.0
+	if u.Age < 65 {
+		ageFactor += p.cfg.CompetitionAgeSlope * float64(65-u.Age) / 47
+	}
+	raceFactor := 1.0
+	if u.Race == demo.RaceWhite {
+		raceFactor += p.cfg.CompetitionWhitePremium
+	}
+	noise := math.Exp(0.45*rng.NormFloat64() - 0.10125)
+	return p.cfg.CompetitionBase * ageFactor * raceFactor * noise
+}
+
+// deliveryRegion returns the state an impression is recorded in: the user's
+// home state, or — while traveling — usually some other state, occasionally
+// the other study state (the miscount risk §3.3 argues is negligible and
+// symmetric).
+func (p *Platform) deliveryRegion(rng *rand.Rand, u *population.User) demo.State {
+	if rng.Float64() >= u.TravelProb {
+		return u.State
+	}
+	if rng.Float64() < 0.1 {
+		if u.State == demo.StateFL {
+			return demo.StateNC
+		}
+		return demo.StateFL
+	}
+	return demo.StateOther
+}
+
+// poisson draws a Poisson variate by Knuth's method; efficient for the
+// small per-tick session rates used here.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}

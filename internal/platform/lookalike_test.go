@@ -1,0 +1,125 @@
+package platform
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/population"
+)
+
+func TestCreateLookalikeAudienceErrors(t *testing.T) {
+	p, f := newTestPlatform(t, 910)
+	if _, err := p.CreateLookalikeAudience("x", "ca-404", 10); err == nil {
+		t.Error("unknown seed: want error")
+	}
+	recs := f.registry.Records[:200]
+	hashes := make([]string, 0, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		hashes = append(hashes, population.HashPII(r.FirstName, r.LastName, r.Address, r.ZIP))
+	}
+	seed, err := p.CreateCustomAudience("seed", hashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateLookalikeAudience("x", seed.ID, 0); err == nil {
+		t.Error("zero size: want error")
+	}
+	// Oversized requests are truncated to the candidate pool, not an error.
+	big, err := p.CreateLookalikeAudience("big", seed.ID, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Size == 0 || big.Size >= len(f.pop.Users) {
+		t.Errorf("truncated size %d vs population %d", big.Size, len(f.pop.Users))
+	}
+}
+
+func TestLookalikeExcludesSeedAndEnriches(t *testing.T) {
+	p, f := newTestPlatform(t, 911)
+	rng := rand.New(rand.NewSource(5))
+	hashes := raceHashes(f.registry.Records, demo.RaceBlack, 1200, rng)
+	seed, err := p.CreateCustomAudience("seed", hashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := p.CreateLookalikeAudience("exp", seed.ID, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No overlap with the seed.
+	inSeed := map[int]bool{}
+	for _, idx := range seed.members {
+		inSeed[idx] = true
+	}
+	for _, idx := range exp.members {
+		if inSeed[idx] {
+			t.Fatal("expansion contains a seed member")
+		}
+	}
+	// The expansion is enriched for the seed's (unobserved) race relative
+	// to the population base rate.
+	comp, err := p.CompositionOf(exp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.CompositionOf(seed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.FracBlack < 0.99 {
+		t.Fatalf("seed composition %v, setup broken", base.FracBlack)
+	}
+	var popBlack int
+	for i := range f.pop.Users {
+		if f.pop.Users[i].Race == demo.RaceBlack {
+			popBlack++
+		}
+	}
+	popRate := float64(popBlack) / float64(len(f.pop.Users))
+	if comp.FracBlack < popRate+0.08 {
+		t.Errorf("expansion %.3f Black vs population %.3f; want clear enrichment", comp.FracBlack, popRate)
+	}
+}
+
+func TestCompositionOfErrors(t *testing.T) {
+	p, _ := newTestPlatform(t, 912)
+	if _, err := p.CompositionOf("ca-404"); err == nil {
+		t.Error("unknown audience: want error")
+	}
+}
+
+func TestObjectiveOptimizationTerm(t *testing.T) {
+	p, f := newTestPlatform(t, 913)
+	u := &f.pop.Users[0]
+	img := p.perceive(imageOfAdult())
+	folded := p.ear.fold(&img)
+	awareness := &Ad{Objective: ObjectiveAwareness, folded: folded}
+	traffic := &Ad{Objective: ObjectiveTraffic, folded: folded}
+	conversions := &Ad{Objective: ObjectiveConversions, folded: folded}
+	if got := p.optimizationTerm(awareness, u); got != 1 {
+		t.Errorf("awareness term %v, want 1", got)
+	}
+	tr := p.optimizationTerm(traffic, u)
+	if tr <= 0 || tr >= 1 {
+		t.Errorf("traffic term %v, want a probability", tr)
+	}
+	cv := p.optimizationTerm(conversions, u)
+	if cv <= 0 {
+		t.Errorf("conversions term %v", cv)
+	}
+	// The conversions transform is monotone in eAR: a user with higher
+	// traffic term must keep a higher conversions term.
+	var hi *population.User
+	for i := range f.pop.Users {
+		cand := &f.pop.Users[i]
+		if p.optimizationTerm(traffic, cand) > tr {
+			hi = cand
+			break
+		}
+	}
+	if hi != nil && p.optimizationTerm(conversions, hi) <= cv {
+		t.Error("conversions transform not monotone in eAR")
+	}
+}

@@ -1,0 +1,65 @@
+package platform
+
+import (
+	"math"
+
+	"github.com/adaudit/impliedidentity/internal/face"
+	"github.com/adaudit/impliedidentity/internal/image"
+)
+
+// perceivedCreative is what the platform's content-understanding model
+// extracts from an ad image before delivery optimization ever sees it. The
+// delivery pipeline has no access to ground-truth image attributes — only to
+// these machine-perceived scores, mirroring how a real platform's ranking
+// models consume upstream vision-model embeddings.
+type perceivedCreative struct {
+	HasPerson  bool
+	Female     float64 // P(pictured person presents female)
+	Black      float64 // P(pictured person presents Black)
+	AgeYears   float64 // estimated apparent age
+	Child      float64 // derived concept score: a child is pictured
+	YoungWoman float64 // derived concept score: a young woman is pictured
+	Job        string  // advertised vertical, from the ad's landing context
+}
+
+// perceive runs the platform's classifier over a creative image.
+func (p *Platform) perceive(img image.Features) perceivedCreative {
+	if !img.HasPerson {
+		return perceivedCreative{Job: img.Job}
+	}
+	pc := perceivedCreative{HasPerson: true, Job: img.Job}
+	pc.Female = p.vision.GenderScore(img)
+	pc.Black = p.vision.RaceScore(img)
+	pc.AgeYears = p.vision.AgeYears(img)
+	pc.Child = conceptChild(pc.AgeYears)
+	pc.YoungWoman = pc.Female * conceptYoungAdult(pc.AgeYears)
+	return pc
+}
+
+// conceptChild and conceptYoungAdult are fixed perceptual basis functions
+// over the estimated age — concept detectors whose *weights* in delivery
+// decisions are still entirely learned from engagement logs.
+func conceptChild(ageYears float64) float64 {
+	v := (16 - ageYears) / 10
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func conceptYoungAdult(ageYears float64) float64 {
+	return math.Exp(-math.Pow((ageYears-18)/9, 2))
+}
+
+// visionModel is the subset of the classifier interface the platform needs,
+// satisfied by *face.Classifier.
+type visionModel interface {
+	GenderScore(image.Features) float64
+	RaceScore(image.Features) float64
+	AgeYears(image.Features) float64
+}
+
+var _ visionModel = (*face.Classifier)(nil)

@@ -1,0 +1,233 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/adaudit/impliedidentity/internal/face"
+	"github.com/adaudit/impliedidentity/internal/population"
+)
+
+// Config configures the platform.
+type Config struct {
+	Seed int64
+	// Ticks divides the simulated 24-hour run into pacing intervals.
+	// Default 48 (30-minute ticks).
+	Ticks int
+	// Training configures engagement-log generation and eAR fitting.
+	Training TrainingConfig
+	// Quality is the ad-quality term added to every bid (§2.1). The audit's
+	// ads are identical in quality, so this is a constant.
+	Quality float64
+	// CompetitionBase sets the background advertiser demand level (the
+	// highest competing total value for a slot, in dollars). Default 0.012.
+	CompetitionBase float64
+	// CompetitionAgeSlope makes younger users more expensive: competing
+	// demand is multiplied by 1+slope×(65-age)/47 for ages below 65.
+	// Default 1.2. This mundane market asymmetry produces the overall
+	// delivery skew toward older users the paper observes (§5.3).
+	CompetitionAgeSlope float64
+	// CompetitionWhitePremium raises competing demand for white users
+	// (default 0.3): other advertisers' targeting prices demographics
+	// differently (§5.2 footnote 5: groups "may not be equally priced based
+	// on the targeting of other advertisers"). This is what makes balanced
+	// audiences deliver majority-Black at equal budgets, as the paper's
+	// intercepts show (Table 4a: 57% Black for a white-adult-male image).
+	CompetitionWhitePremium float64
+	// ValueNoise is the per-slot lognormal σ applied to each ad's
+	// bid×eAR term, modelling per-request context features and ranking
+	// exploration. Without it the deterministic eAR ordering sorts users
+	// across ads winner-take-all, wildly overstating delivery skews.
+	// Default 0.9.
+	ValueNoise float64
+	// ReviewRejectProb is the ad-review rejection probability. Near zero in
+	// normal operation; Appendix A's experiment raises it via
+	// SetReviewRejectProb to reproduce the mass rejections the authors hit.
+	ReviewRejectProb float64
+	// UseEAR toggles the estimated-action-rate term in the auction. The A1
+	// ablation sets it false: with constant eAR the auction is blind to
+	// content and all content-based skew should vanish.
+	UseEAR bool
+	// GreedyPacing disables the budget-pacing controller (A5 ablation):
+	// ads bid a fixed high amount until the budget is exhausted.
+	GreedyPacing bool
+	// FrequencyCap limits how many times one ad is shown to one user per
+	// day. Default 4; 0 disables the cap.
+	FrequencyCap int
+	// VisionSeed seeds the platform's own content classifier training,
+	// independent of any classifier the auditor uses.
+	VisionSeed int64
+}
+
+// DefaultConfig returns the standard simulation configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                    seed,
+		Ticks:                   48,
+		Training:                TrainingConfig{LogRows: 60000, Seed: seed + 1},
+		Quality:                 0.004,
+		FrequencyCap:            4,
+		CompetitionBase:         0.007,
+		CompetitionAgeSlope:     2.2,
+		CompetitionWhitePremium: 0.3,
+		ValueNoise:              0.7,
+		ReviewRejectProb:        0.01,
+		UseEAR:                  true,
+		VisionSeed:              seed + 2,
+	}
+}
+
+// Platform is the simulated advertising platform.
+type Platform struct {
+	cfg    Config
+	pop    *population.Population
+	behave *population.Behavior
+	vision visionModel
+	ear    *earModel
+
+	audiences map[string]*CustomAudience
+	campaigns map[string]*Campaign
+	ads       map[string]*Ad
+	stats     map[string]*AdStats
+
+	served    []servedRow // retraining buffer of served impressions
+	reviewRNG *rand.Rand
+	nextID    int
+}
+
+// New builds a platform over a user population: it trains the platform's
+// content classifier, generates engagement logs, and fits the eAR model.
+func New(cfg Config, pop *population.Population, behave *population.Behavior) (*Platform, error) {
+	if pop == nil || len(pop.Users) == 0 {
+		return nil, fmt.Errorf("platform: empty population")
+	}
+	if behave == nil {
+		return nil, fmt.Errorf("platform: nil behaviour model")
+	}
+	if cfg.Ticks == 0 {
+		cfg.Ticks = 48
+	}
+	if cfg.Ticks < 2 {
+		return nil, fmt.Errorf("platform: need at least 2 pacing ticks, got %d", cfg.Ticks)
+	}
+	vision, err := face.Train(face.TrainOptions{CorpusSize: 4000, Seed: cfg.VisionSeed, LabelNoise: 0.02})
+	if err != nil {
+		return nil, fmt.Errorf("platform: training vision model: %w", err)
+	}
+	ear, err := trainEAR(cfg.Training, pop, behave, vision)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{
+		cfg:       cfg,
+		pop:       pop,
+		behave:    behave,
+		vision:    vision,
+		ear:       ear,
+		audiences: map[string]*CustomAudience{},
+		campaigns: map[string]*Campaign{},
+		ads:       map[string]*Ad{},
+		stats:     map[string]*AdStats{},
+		reviewRNG: rand.New(rand.NewSource(cfg.Seed + 77)),
+	}, nil
+}
+
+// SetReviewRejectProb changes review strictness (used by the Appendix A
+// experiment to reproduce the mass rejections).
+func (p *Platform) SetReviewRejectProb(prob float64) error {
+	if prob < 0 || prob > 1 {
+		return fmt.Errorf("platform: reject probability %v outside [0,1]", prob)
+	}
+	p.cfg.ReviewRejectProb = prob
+	return nil
+}
+
+// CreateCampaign registers a campaign.
+func (p *Platform) CreateCampaign(name string, obj Objective, special SpecialAdCategory, accountAge int) (*Campaign, error) {
+	if name == "" {
+		return nil, fmt.Errorf("platform: campaign needs a name")
+	}
+	p.nextID++
+	c := &Campaign{
+		ID:              fmt.Sprintf("cmp-%d", p.nextID),
+		Name:            name,
+		Objective:       obj,
+		SpecialCategory: special,
+		AccountAge:      accountAge,
+	}
+	p.campaigns[c.ID] = c
+	return c, nil
+}
+
+// Campaign returns a campaign by ID.
+func (p *Platform) Campaign(id string) (*Campaign, error) {
+	c, ok := p.campaigns[id]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown campaign %q", id)
+	}
+	return c, nil
+}
+
+// CreateAd validates targeting against the campaign's special-category
+// restrictions, resolves the target audience, runs ad review, and registers
+// the ad. A rejected ad is returned (with StatusRejected) along with a nil
+// error: rejection is an outcome, not a failure of the call.
+func (p *Platform) CreateAd(campaignID string, creative Creative, targeting Targeting, dailyBudgetCents int) (*Ad, error) {
+	c, err := p.Campaign(campaignID)
+	if err != nil {
+		return nil, err
+	}
+	if dailyBudgetCents <= 0 {
+		return nil, fmt.Errorf("platform: daily budget must be positive, got %d", dailyBudgetCents)
+	}
+	if err := targeting.Validate(c.SpecialCategory); err != nil {
+		return nil, err
+	}
+	audience, err := p.resolveAudience(&targeting)
+	if err != nil {
+		return nil, err
+	}
+	p.nextID++
+	ad := &Ad{
+		ID:               fmt.Sprintf("ad-%d", p.nextID),
+		CampaignID:       campaignID,
+		Objective:        c.Objective,
+		Creative:         creative,
+		Targeting:        targeting,
+		DailyBudgetCents: dailyBudgetCents,
+		Status:           StatusActive,
+		audience:         audience,
+	}
+	ad.perceived = p.perceive(creative.Image)
+	ad.folded = p.ear.fold(&ad.perceived)
+	if p.reviewRNG.Float64() < p.cfg.ReviewRejectProb {
+		ad.Status = StatusRejected
+	}
+	p.ads[ad.ID] = ad
+	return ad, nil
+}
+
+// Ad returns an ad by ID.
+func (p *Platform) Ad(id string) (*Ad, error) {
+	ad, ok := p.ads[id]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown ad %q", id)
+	}
+	return ad, nil
+}
+
+// AppealAd re-reviews a rejected ad (the Appendix A appeal path). Appeals
+// succeed with probability 1 - ReviewRejectProb, re-rolled independently.
+func (p *Platform) AppealAd(id string) (*Ad, error) {
+	ad, err := p.Ad(id)
+	if err != nil {
+		return nil, err
+	}
+	if ad.Status != StatusRejected {
+		return nil, fmt.Errorf("platform: ad %s is %v, only rejected ads can be appealed", id, ad.Status)
+	}
+	if p.reviewRNG.Float64() >= p.cfg.ReviewRejectProb {
+		ad.Status = StatusActive
+	}
+	return ad, nil
+}

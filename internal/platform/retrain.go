@@ -1,0 +1,90 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/adaudit/impliedidentity/internal/population"
+	"github.com/adaudit/impliedidentity/internal/stats"
+)
+
+// servedRow is one logged served impression: who saw which creative and
+// whether they clicked. The retraining buffer is what closes the feedback
+// loop the paper's discussion warns about ("this optimization for engagement
+// has also been leveraged by scammers", §2.2): the next model trains on
+// traffic the previous model chose.
+type servedRow struct {
+	userIdx int
+	ad      *Ad
+	clicked bool
+}
+
+// maxServedLog bounds the retraining buffer.
+const maxServedLog = 200000
+
+// recordServed appends an impression to the retraining buffer.
+func (p *Platform) recordServed(userIdx int, ad *Ad, clicked bool) {
+	if len(p.served) >= maxServedLog {
+		return
+	}
+	p.served = append(p.served, servedRow{userIdx: userIdx, ad: ad, clicked: clicked})
+}
+
+// ServedLogSize reports the retraining buffer size.
+func (p *Platform) ServedLogSize() int { return len(p.served) }
+
+// Retrain refits the estimated-action-rate model on a fresh background
+// engagement log plus every impression the platform itself has served since
+// the last (re)training. Served impressions are selection-biased — the
+// previous model chose who saw what — which is precisely the feedback-loop
+// mechanism experiment E16 measures. Ads created after Retrain use the new
+// model; completed ads keep their recorded delivery.
+func (p *Platform) Retrain(cfg TrainingConfig) error {
+	if cfg.LogRows == 0 {
+		cfg.LogRows = p.cfg.Training.LogRows
+	}
+	base, err := trainLogRows(cfg, p.pop, p.behave, p.vision)
+	if err != nil {
+		return err
+	}
+	layout := newFeatureLayout()
+	total := base.x.Rows + len(p.served)
+	x := stats.NewMatrix(total, layout.dim)
+	copy(x.Data, base.x.Data)
+	y := make([]float64, total)
+	copy(y, base.y)
+	for i := range p.served {
+		row := &p.served[i]
+		layout.featurize(&p.pop.Users[row.userIdx], &row.ad.perceived, x.Row(base.x.Rows+i))
+		if row.clicked {
+			y[base.x.Rows+i] = 1
+		}
+	}
+	fit, err := stats.Logit(layout.names(), x, y, stats.LogitOptions{Ridge: 3.0, MaxIter: 60})
+	if err != nil {
+		return fmt.Errorf("platform: retraining eAR model: %w", err)
+	}
+	p.ear = &earModel{layout: layout, fit: fit}
+	p.served = p.served[:0]
+	return nil
+}
+
+// logRows is a generated background engagement log.
+type logRows struct {
+	x *stats.Matrix
+	y []float64
+}
+
+// trainLogRows generates a background engagement log (the shared inner step
+// of initial training and retraining).
+func trainLogRows(cfg TrainingConfig, pop *population.Population, behave *population.Behavior, vision visionModel) (*logRows, error) {
+	if cfg.LogRows < 1000 {
+		return nil, fmt.Errorf("platform: %d log rows too few to train eAR", cfg.LogRows)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	layout := newFeatureLayout()
+	x := stats.NewMatrix(cfg.LogRows, layout.dim)
+	y := make([]float64, cfg.LogRows)
+	fillEngagementLog(rng, layout, pop, behave, vision, x, y)
+	return &logRows{x: x, y: y}, nil
+}

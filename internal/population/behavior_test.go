@@ -1,0 +1,181 @@
+package population
+
+import (
+	"testing"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/image"
+)
+
+func testBehavior(t *testing.T) *Behavior {
+	t.Helper()
+	b, err := NewBehavior(DefaultBehaviorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func imgOf(p demo.Profile) image.Features { return image.FromProfile(p) }
+
+func TestNewBehaviorValidation(t *testing.T) {
+	cfg := DefaultBehaviorConfig()
+	cfg.BaseCTR = 0
+	if _, err := NewBehavior(cfg); err == nil {
+		t.Error("zero base CTR: want error")
+	}
+	cfg = DefaultBehaviorConfig()
+	cfg.AffinityScale = -1
+	if _, err := NewBehavior(cfg); err == nil {
+		t.Error("negative scale: want error")
+	}
+}
+
+func TestClickProbBounds(t *testing.T) {
+	b := testBehavior(t)
+	users := []User{
+		{Age: 20, Gender: demo.GenderFemale, Race: demo.RaceBlack},
+		{Age: 70, Gender: demo.GenderMale, Race: demo.RaceWhite},
+	}
+	for _, p := range demo.AllProfiles() {
+		img := imgOf(p)
+		for i := range users {
+			pr := b.ClickProb(&users[i], img)
+			if pr <= 0 || pr >= 1 {
+				t.Fatalf("ClickProb out of range: %v", pr)
+			}
+		}
+	}
+}
+
+func TestRaceHomophily(t *testing.T) {
+	b := testBehavior(t)
+	blackUser := User{Age: 30, Gender: demo.GenderMale, Race: demo.RaceBlack}
+	whiteUser := User{Age: 30, Gender: demo.GenderMale, Race: demo.RaceWhite}
+	blackImg := imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceBlack, Age: demo.ImpliedAdult})
+	whiteImg := imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedAdult})
+	if b.ClickProb(&blackUser, blackImg) <= b.ClickProb(&blackUser, whiteImg) {
+		t.Error("Black user should engage more with Black-presenting image")
+	}
+	if b.ClickProb(&whiteUser, whiteImg) <= b.ClickProb(&whiteUser, blackImg) {
+		t.Error("white user should engage more with white-presenting image")
+	}
+}
+
+func TestChildImagesEngageWomen(t *testing.T) {
+	b := testBehavior(t)
+	woman := User{Age: 45, Gender: demo.GenderFemale, Race: demo.RaceWhite}
+	man := User{Age: 45, Gender: demo.GenderMale, Race: demo.RaceWhite}
+	child := imgOf(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceWhite, Age: demo.ImpliedChild})
+	adult := imgOf(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceWhite, Age: demo.ImpliedAdult})
+	womanLift := b.ClickProb(&woman, child) / b.ClickProb(&woman, adult)
+	manLift := b.ClickProb(&man, child) / b.ClickProb(&man, adult)
+	if womanLift <= manLift {
+		t.Errorf("child-image lift: woman %v <= man %v", womanLift, manLift)
+	}
+	// The effect strengthens with the woman's age (Figure 3C: older women
+	// see more images of children).
+	older := User{Age: 65, Gender: demo.GenderFemale, Race: demo.RaceWhite}
+	youngW := User{Age: 25, Gender: demo.GenderFemale, Race: demo.RaceWhite}
+	if b.ClickProb(&older, child)/b.ClickProb(&older, adult) <= b.ClickProb(&youngW, child)/b.ClickProb(&youngW, adult) {
+		t.Error("child-image lift should grow with the woman's age")
+	}
+}
+
+func TestYoungWomenImagesEngageOlderMen(t *testing.T) {
+	b := testBehavior(t)
+	olderMan := User{Age: 60, Gender: demo.GenderMale, Race: demo.RaceWhite}
+	youngerMan := User{Age: 30, Gender: demo.GenderMale, Race: demo.RaceWhite}
+	teenWoman := imgOf(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceWhite, Age: demo.ImpliedTeen})
+	teenMan := imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedTeen})
+	// Older men: teen-woman image beats teen-man image by more than the age
+	// proximity penalty difference.
+	lift := b.ClickProb(&olderMan, teenWoman) / b.ClickProb(&olderMan, teenMan)
+	if lift <= 1.5 {
+		t.Errorf("older-man teen-woman lift %v, want > 1.5", lift)
+	}
+	// The effect is specific to men 55+.
+	youngLift := b.ClickProb(&youngerMan, teenWoman) / b.ClickProb(&youngerMan, teenMan)
+	if lift <= youngLift {
+		t.Errorf("lift should concentrate in older men: %v <= %v", lift, youngLift)
+	}
+}
+
+func TestAgeProximity(t *testing.T) {
+	b := testBehavior(t)
+	young := User{Age: 22, Gender: demo.GenderMale, Race: demo.RaceWhite}
+	adultImg := imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedAdult})
+	elderlyImg := imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedElderly})
+	if b.ClickProb(&young, adultImg) <= b.ClickProb(&young, elderlyImg) {
+		t.Error("young user should engage more with age-proximate image")
+	}
+}
+
+func TestAffinityScaleZeroRemovesContentEffects(t *testing.T) {
+	cfg := DefaultBehaviorConfig()
+	cfg.AffinityScale = 0
+	b, err := NewBehavior(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := User{Age: 30, Gender: demo.GenderFemale, Race: demo.RaceBlack}
+	p1 := b.ClickProb(&u, imgOf(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceBlack, Age: demo.ImpliedChild}))
+	p2 := b.ClickProb(&u, imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedElderly}))
+	if p1 != p2 {
+		t.Errorf("scale 0 should make content irrelevant: %v vs %v", p1, p2)
+	}
+}
+
+func TestNoPersonImageUsesBaseRate(t *testing.T) {
+	b := testBehavior(t)
+	u := User{Age: 30, Gender: demo.GenderFemale, Race: demo.RaceBlack}
+	p := b.ClickProb(&u, image.Features{})
+	if diff := p - DefaultBehaviorConfig().BaseCTR; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("no-person image prob %v, want base rate", p)
+	}
+}
+
+func TestJobAffinityComposition(t *testing.T) {
+	// Lumber skews male and white; janitor skews Black; nurse skews female.
+	if JobAffinity("lumber", demo.GenderMale, demo.RaceWhite) <= JobAffinity("lumber", demo.GenderFemale, demo.RaceBlack) {
+		t.Error("lumber should favor white men")
+	}
+	if JobAffinity("janitor", demo.GenderFemale, demo.RaceBlack) <= JobAffinity("janitor", demo.GenderMale, demo.RaceWhite) {
+		t.Error("janitor should favor Black women")
+	}
+	if JobAffinity("nurse", demo.GenderFemale, demo.RaceWhite) <= JobAffinity("nurse", demo.GenderMale, demo.RaceWhite) {
+		t.Error("nurse should favor women")
+	}
+	if JobAffinity("unknown-job", demo.GenderMale, demo.RaceWhite) != 0 {
+		t.Error("unknown job should contribute 0")
+	}
+}
+
+func TestKnownJobCoversImageJobTypes(t *testing.T) {
+	for _, j := range image.JobTypes() {
+		if !KnownJob(j) {
+			t.Errorf("behaviour model missing composition for job %q", j)
+		}
+	}
+	if KnownJob("astronaut") {
+		t.Error("astronaut should be unknown")
+	}
+}
+
+func TestJobAdsShiftEngagement(t *testing.T) {
+	b := testBehavior(t)
+	whiteMan := User{Age: 35, Gender: demo.GenderMale, Race: demo.RaceWhite}
+	blackWoman := User{Age: 35, Gender: demo.GenderFemale, Race: demo.RaceBlack}
+	// Neutral face so the job-composition effect is isolated from homophily.
+	face := image.Features{HasPerson: true, AgeYears: 30}
+	lumber := face
+	lumber.Job = "lumber"
+	janitor := face
+	janitor.Job = "janitor"
+	if b.ClickProb(&whiteMan, lumber) <= b.ClickProb(&blackWoman, lumber) {
+		t.Error("lumber ad should engage white men more")
+	}
+	if b.ClickProb(&blackWoman, janitor) <= b.ClickProb(&whiteMan, janitor) {
+		t.Error("janitor ad should engage Black women more")
+	}
+}

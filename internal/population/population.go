@@ -1,0 +1,208 @@
+// Package population models the platform's user base. Users are derived
+// from voter registries via a probabilistic account-match model (not every
+// voter has an account, and match rates differ by demographic — §3.2's
+// caveat that "each demographic group may not have the same percentage of
+// voters with Facebook accounts"), carry per-user activity rates ("may not
+// have the same level of Facebook activity"), and expose the ground-truth
+// engagement behaviour that the platform's machine-learned delivery
+// optimization is trained on (package platform).
+//
+// The behaviour model is where documented population-level engagement
+// patterns enter the simulation — homophily, women's higher engagement with
+// child imagery, older men's engagement with images of young women, and
+// industry workforce composition. The delivery algorithm never reads these
+// parameters; it only sees logged engagement outcomes, mirroring how the
+// real platform's biases arise from its training data (§2.1).
+package population
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/voter"
+)
+
+// User is one platform account.
+type User struct {
+	ID     int
+	State  demo.State
+	ZIP    string
+	Age    int
+	Gender demo.Gender
+	Race   demo.Race
+	// Activity is the user's expected browsing sessions per simulated day;
+	// each session offers one ad slot.
+	Activity float64
+	// PIIKey is the hash of the user's registration PII, the join key for
+	// Custom Audience matching.
+	PIIKey string
+	// TravelProb is the per-impression probability the user is currently
+	// outside their home state (the <1% leakage §3.3 measures).
+	TravelProb float64
+}
+
+// AgeBucket returns the user's Facebook reporting bucket.
+func (u *User) AgeBucket() demo.AgeBucket { return demo.BucketForAge(u.Age) }
+
+// HashPII computes the normalized PII hash used to match uploaded audience
+// lists to accounts: lowercase, trimmed, SHA-256 over name|address|zip. Both
+// the advertiser-side upload path and the platform-side account records use
+// this function, as with real PII-matching pipelines.
+func HashPII(first, last, address, zip string) string {
+	norm := func(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+	h := sha256.Sum256([]byte(norm(first) + "|" + norm(last) + "|" + norm(address) + "|" + norm(zip)))
+	return hex.EncodeToString(h[:])
+}
+
+// Config controls population construction.
+type Config struct {
+	Seed int64
+	// BaseMatchRate is the probability a voter has a matchable account,
+	// before demographic adjustments. Default 0.65.
+	BaseMatchRate float64
+	// TravelProb is the per-impression out-of-state probability.
+	// Default 0.004, consistent with the <1% out-of-state delivery §3.3
+	// reports for state-level splits.
+	TravelProb float64
+	// MeanSessions is the mean sessions/day across the population.
+	// Default 6.
+	MeanSessions float64
+	// FLActivityBoost multiplies the activity of Florida users (default 1).
+	// Setting it away from 1 injects a location confounder; the A4 ablation
+	// uses it to show the reversed-copy aggregation cancels such
+	// confounders (§3.3).
+	FLActivityBoost float64
+}
+
+func (c *Config) setDefaults() {
+	if c.BaseMatchRate == 0 {
+		c.BaseMatchRate = 0.65
+	}
+	if c.TravelProb == 0 {
+		c.TravelProb = 0.004
+	}
+	if c.MeanSessions == 0 {
+		c.MeanSessions = 6
+	}
+	if c.FLActivityBoost == 0 {
+		c.FLActivityBoost = 1
+	}
+}
+
+// Population is the set of platform users, indexed for Custom Audience
+// matching.
+type Population struct {
+	Users []User
+	byPII map[string]int // PIIKey -> index into Users
+}
+
+// Build derives users from one or more voter registries. Match rates and
+// activity vary by demographic: younger voters are more likely to have an
+// account, while accounts held by older users show somewhat higher daily
+// activity — two of the mundane asymmetries that make the paper refuse to
+// expect 50/50 delivery even for balanced targeting (§5.2, footnote 5).
+func Build(cfg Config, registries ...*voter.Registry) (*Population, error) {
+	cfg.setDefaults()
+	if len(registries) == 0 {
+		return nil, fmt.Errorf("population: no registries")
+	}
+	if cfg.BaseMatchRate <= 0 || cfg.BaseMatchRate > 1 {
+		return nil, fmt.Errorf("population: BaseMatchRate %v outside (0,1]", cfg.BaseMatchRate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Population{byPII: map[string]int{}}
+	id := 0
+	for _, reg := range registries {
+		for i := range reg.Records {
+			rec := &reg.Records[i]
+			if rng.Float64() > cfg.BaseMatchRate*matchRateFactor(rec) {
+				continue
+			}
+			activity := cfg.MeanSessions * activityFactor(rec) * lognormalish(rng)
+			if rec.State == demo.StateFL {
+				activity *= cfg.FLActivityBoost
+			}
+			u := User{
+				ID:         id,
+				State:      rec.State,
+				ZIP:        rec.ZIP,
+				Age:        rec.Age(),
+				Gender:     rec.Gender,
+				Race:       rec.Race,
+				Activity:   activity,
+				PIIKey:     HashPII(rec.FirstName, rec.LastName, rec.Address, rec.ZIP),
+				TravelProb: cfg.TravelProb,
+			}
+			if _, dup := p.byPII[u.PIIKey]; dup {
+				// PII collision (same name+address): the platform would
+				// merge or reject; we keep the first account.
+				continue
+			}
+			p.byPII[u.PIIKey] = id
+			p.Users = append(p.Users, u)
+			id++
+		}
+	}
+	if len(p.Users) == 0 {
+		return nil, fmt.Errorf("population: no users matched")
+	}
+	return p, nil
+}
+
+// LookupPII returns the user with the given PII hash.
+func (p *Population) LookupPII(key string) (*User, bool) {
+	i, ok := p.byPII[key]
+	if !ok {
+		return nil, false
+	}
+	return &p.Users[i], true
+}
+
+// matchRateFactor adjusts account-match probability by demographic: account
+// ownership declines with age, mildly.
+func matchRateFactor(rec *voter.Record) float64 {
+	switch rec.AgeBucket() {
+	case demo.Age18to24:
+		return 1.15
+	case demo.Age25to34:
+		return 1.12
+	case demo.Age35to44:
+		return 1.08
+	case demo.Age45to54:
+		return 1.0
+	case demo.Age55to64:
+		return 0.92
+	default:
+		return 0.80
+	}
+}
+
+// activityFactor adjusts daily sessions by demographic: among account
+// holders, older users browse somewhat more.
+func activityFactor(rec *voter.Record) float64 {
+	switch rec.AgeBucket() {
+	case demo.Age18to24:
+		return 0.85
+	case demo.Age25to34:
+		return 0.9
+	case demo.Age35to44:
+		return 0.95
+	case demo.Age45to54:
+		return 1.05
+	case demo.Age55to64:
+		return 1.15
+	default:
+		return 1.25
+	}
+}
+
+// lognormalish draws a positive multiplicative noise term with mean 1
+// (lognormal with σ = 0.3, mean-corrected).
+func lognormalish(rng *rand.Rand) float64 {
+	return math.Exp(0.3*rng.NormFloat64() - 0.045)
+}

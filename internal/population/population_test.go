@@ -1,0 +1,178 @@
+package population
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/voter"
+)
+
+func testRegistry(t *testing.T, state demo.State, n int) *voter.Registry {
+	t.Helper()
+	cfg := voter.DefaultGeneratorConfig(state, 7)
+	cfg.NumVoters = n
+	reg, err := voter.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestHashPIINormalization(t *testing.T) {
+	a := HashPII("John", "Smith", "1 Oak St", "33101")
+	b := HashPII(" john ", "SMITH", "1 oak st", "33101")
+	if a != b {
+		t.Error("hash must be case/whitespace insensitive")
+	}
+	c := HashPII("Jane", "Smith", "1 Oak St", "33101")
+	if a == c {
+		t.Error("different people must hash differently")
+	}
+	if len(a) != 64 {
+		t.Errorf("hash length %d", len(a))
+	}
+}
+
+func TestBuildMatchesSubsetOfVoters(t *testing.T) {
+	fl := testRegistry(t, demo.StateFL, 5000)
+	nc := testRegistry(t, demo.StateNC, 5000)
+	pop, err := Build(Config{Seed: 1}, fl, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop.Users) == 0 || len(pop.Users) >= 10000 {
+		t.Fatalf("population size %d", len(pop.Users))
+	}
+	// Roughly the base match rate should survive.
+	frac := float64(len(pop.Users)) / 10000
+	if frac < 0.45 || frac > 0.85 {
+		t.Errorf("match fraction %v", frac)
+	}
+	for i := range pop.Users {
+		u := &pop.Users[i]
+		if u.Activity <= 0 {
+			t.Fatalf("user %d activity %v", u.ID, u.Activity)
+		}
+		if u.PIIKey == "" {
+			t.Fatalf("user %d missing PII key", u.ID)
+		}
+	}
+}
+
+func TestBuildLookupPII(t *testing.T) {
+	fl := testRegistry(t, demo.StateFL, 2000)
+	pop, err := Build(Config{Seed: 2}, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every built user must be findable by the hash of some voter's PII.
+	found := 0
+	for i := range fl.Records {
+		r := &fl.Records[i]
+		key := HashPII(r.FirstName, r.LastName, r.Address, r.ZIP)
+		if u, ok := pop.LookupPII(key); ok {
+			found++
+			if u.State != demo.StateFL {
+				t.Errorf("matched user in wrong state %v", u.State)
+			}
+		}
+	}
+	if found != len(pop.Users) {
+		t.Errorf("found %d voters matching, population has %d", found, len(pop.Users))
+	}
+	if _, ok := pop.LookupPII("nope"); ok {
+		t.Error("bogus key should not match")
+	}
+}
+
+func TestBuildMatchRateDeclinesWithAge(t *testing.T) {
+	fl := testRegistry(t, demo.StateFL, 60000)
+	pop, err := Build(Config{Seed: 3}, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voterCount := map[demo.AgeBucket]int{}
+	for i := range fl.Records {
+		voterCount[fl.Records[i].AgeBucket()]++
+	}
+	userCount := map[demo.AgeBucket]int{}
+	for i := range pop.Users {
+		userCount[pop.Users[i].AgeBucket()]++
+	}
+	young := float64(userCount[demo.Age18to24]) / float64(voterCount[demo.Age18to24])
+	old := float64(userCount[demo.Age65Plus]) / float64(voterCount[demo.Age65Plus])
+	if young <= old {
+		t.Errorf("match rate young %v <= old %v", young, old)
+	}
+}
+
+func TestBuildActivityRisesWithAge(t *testing.T) {
+	fl := testRegistry(t, demo.StateFL, 60000)
+	pop, err := Build(Config{Seed: 4}, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var youngSum, oldSum float64
+	var youngN, oldN int
+	for i := range pop.Users {
+		u := &pop.Users[i]
+		switch u.AgeBucket() {
+		case demo.Age18to24:
+			youngSum += u.Activity
+			youngN++
+		case demo.Age65Plus:
+			oldSum += u.Activity
+			oldN++
+		}
+	}
+	if oldSum/float64(oldN) <= youngSum/float64(youngN) {
+		t.Errorf("activity old %v <= young %v", oldSum/float64(oldN), youngSum/float64(youngN))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Config{Seed: 1}); err == nil {
+		t.Error("no registries: want error")
+	}
+	fl := testRegistry(t, demo.StateFL, 100)
+	if _, err := Build(Config{Seed: 1, BaseMatchRate: 1.5}, fl); err == nil {
+		t.Error("bad match rate: want error")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	fl := testRegistry(t, demo.StateFL, 3000)
+	a, err := Build(Config{Seed: 5}, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Config{Seed: 5}, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Users) != len(b.Users) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Users), len(b.Users))
+	}
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] {
+			t.Fatal("same-seed populations differ")
+		}
+	}
+}
+
+func TestHashPIIProperty(t *testing.T) {
+	// Property: hashing is deterministic and normalization-invariant, and
+	// any single-field change alters the hash.
+	f := func(a, b, c, d string) bool {
+		h1 := HashPII(a, b, c, d)
+		h2 := HashPII(" "+a+" ", b, c, d)
+		if h1 != h2 {
+			return false
+		}
+		return HashPII(a+"x", b, c, d) != h1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/adaudit/impliedidentity/internal/core"
+)
+
+// DeliveriesCSV writes per-ad delivery measurements as CSV, the raw data
+// behind every figure (the paper publishes the same per-ad statistics on its
+// project website).
+func DeliveriesCSV(w io.Writer, ds []core.Delivery) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"key", "implied_race", "implied_gender", "implied_age", "job",
+		"impressions", "reach", "clicks", "spend_cents",
+		"frac_black", "frac_female", "frac_age35plus", "frac_age45plus",
+		"frac_age65plus", "avg_age", "frac_men55plus", "frac_women55plus",
+		"out_of_state",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for i := range ds {
+		d := &ds[i]
+		rec := []string{
+			d.Key, d.Profile.Race.String(), d.Profile.Gender.String(), d.Profile.Age.String(), d.Job,
+			strconv.Itoa(d.Impressions), strconv.Itoa(d.Reach), strconv.Itoa(d.Clicks),
+			f(d.SpendCents), f(d.FracBlack), f(d.FracFemale), f(d.FracAge35Plus),
+			f(d.FracAge45Plus), f(d.FracAge65Plus), f(d.AvgAge),
+			f(d.FracMen55Plus), f(d.FracWomen55Plus), f(d.OutOfState),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: writing CSV: %w", err)
+	}
+	return nil
+}

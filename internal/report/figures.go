@@ -1,0 +1,225 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/adaudit/impliedidentity/internal/core"
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/stats"
+)
+
+// Figure1 renders the headline job-ad contrast.
+func Figure1(res *core.Figure1Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — identical lumber job ads, different pictured person (measured | paper)\n")
+	fmt.Fprintf(&b, "  white man pictured : %5.1f%% white delivery  %s | 56%%\n",
+		100*res.WhiteImageFracWhite, bar(res.WhiteImageFracWhite, 0, 1, 24))
+	fmt.Fprintf(&b, "  Black man pictured : %5.1f%% white delivery  %s | 29%%\n",
+		100*res.BlackImageFracWhite, bar(res.BlackImageFracWhite, 0, 1, 24))
+	if res.WhiteImageCountable > 0 {
+		fmt.Fprintf(&b, "  two-proportion z-test on the gap: z=%.2f, p=%.2g (%d vs %d countable impressions)\n",
+			res.Test.Z, res.Test.P, res.WhiteImageCountable, res.BlackImageCountable)
+	}
+	return b.String()
+}
+
+// figure3Series computes the per-(implied age, group) means for a Figure 3
+// style panel.
+func figure3Series(ds []core.Delivery, metric func(*core.Delivery) float64, group func(*core.Delivery) bool) []float64 {
+	out := make([]float64, 0, demo.NumImpliedAges)
+	for _, a := range demo.AllImpliedAges() {
+		a := a
+		v, _ := core.GroupMean(ds,
+			func(d *core.Delivery) bool { return d.Profile.Age == a && group(d) },
+			metric)
+		out = append(out, v)
+	}
+	return out
+}
+
+// panel renders two series over the implied-age axis as aligned gauges.
+func panel(title, leftLabel, rightLabel string, left, right []float64, lo, hi float64, pct bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	ages := demo.AllImpliedAges()
+	for i := range ages {
+		lv, rv := left[i], right[i]
+		if pct {
+			fmt.Fprintf(&b, "  %-12s %-14s %5.1f%% %s   %-14s %5.1f%% %s\n",
+				ages[i], leftLabel, 100*lv, bar(lv, lo, hi, 16), rightLabel, 100*rv, bar(rv, lo, hi, 16))
+		} else {
+			fmt.Fprintf(&b, "  %-12s %-14s %5.1f %s   %-14s %5.1f %s\n",
+				ages[i], leftLabel, lv, bar(lv, lo, hi, 16), rightLabel, rv, bar(rv, lo, hi, 16))
+		}
+	}
+	return b.String()
+}
+
+// Figure3 renders the four delivery panels for a stock (or, as Figure 5,
+// synthetic) campaign.
+func Figure3(ds []core.Delivery, figureName string) string {
+	isWhite := func(d *core.Delivery) bool { return d.Profile.Race == demo.RaceWhite }
+	isBlack := func(d *core.Delivery) bool { return d.Profile.Race == demo.RaceBlack }
+	isMale := func(d *core.Delivery) bool { return d.Profile.Gender == demo.GenderMale }
+	isFemale := func(d *core.Delivery) bool { return d.Profile.Gender == demo.GenderFemale }
+	fracBlack := func(d *core.Delivery) float64 { return d.FracBlack }
+	fracFemale := func(d *core.Delivery) float64 { return d.FracFemale }
+	avgAge := func(d *core.Delivery) float64 { return d.AvgAge }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — delivery by implied age of the pictured person\n", figureName)
+	b.WriteString(panel("A) fraction of audience self-reported Black (white-image vs Black-image ads)",
+		"white:", "Black:",
+		figure3Series(ds, fracBlack, isWhite), figure3Series(ds, fracBlack, isBlack), 0.2, 0.9, true))
+	b.WriteString(panel("B) average age of the reached audience (white-image vs Black-image ads)",
+		"white:", "Black:",
+		figure3Series(ds, avgAge, isWhite), figure3Series(ds, avgAge, isBlack), 30, 65, false))
+	b.WriteString(panel("C) fraction of audience self-reported female (male-image vs female-image ads)",
+		"male:", "female:",
+		figure3Series(ds, fracFemale, isMale), figure3Series(ds, fracFemale, isFemale), 0.2, 0.8, true))
+	b.WriteString(panel("D) average age of the reached audience (male-image vs female-image ads)",
+		"male:", "female:",
+		figure3Series(ds, avgAge, isMale), figure3Series(ds, avgAge, isFemale), 30, 65, false))
+	return b.String()
+}
+
+// Figure4 renders the older-audience panels.
+func Figure4(points []core.Fig4Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — fraction of men (A) and women (B) aged 55+ in the audience\n")
+	b.WriteString("A) men 55+:\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-12s male-img %5.1f%% %s   fem-img %5.1f%% %s\n",
+			p.ImpliedAge, 100*p.MaleImgMen55, bar(p.MaleImgMen55, 0, 0.6, 16),
+			100*p.FemImgMen55, bar(p.FemImgMen55, 0, 0.6, 16))
+	}
+	b.WriteString("B) women 55+:\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-12s male-img %5.1f%% %s   fem-img %5.1f%% %s\n",
+			p.ImpliedAge, 100*p.MaleImgWom55, bar(p.MaleImgWom55, 0, 0.6, 16),
+			100*p.FemImgWom55, bar(p.FemImgWom55, 0, 0.6, 16))
+	}
+	return b.String()
+}
+
+// Figure6 renders the latent-attribute sweep for one synthetic person.
+func Figure6(sweep []core.SweepCell) string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — attribute sweep of one synthetic person (target → classifier reading)\n")
+	fmt.Fprintf(&b, "%-28s %-28s %6s %10s\n", "target", "classified as", "match", "nuisanceΔ")
+	matched := 0
+	for _, c := range sweep {
+		ok := " no"
+		if c.Classified.Gender == c.Target.Gender && c.Classified.Race == c.Target.Race {
+			ok = "yes"
+			matched++
+		}
+		fmt.Fprintf(&b, "%-28s %-28s %6s %10.3f\n", c.Target, c.Classified, ok, c.NuisanceDistance)
+	}
+	fmt.Fprintf(&b, "gender+race agreement: %d/%d variants\n", matched, len(sweep))
+	return b.String()
+}
+
+// Figure7 renders the employment-ad skew scatter as a congruence table.
+func Figure7(race []core.Fig7RacePoint, gender []core.Fig7GenderPoint) string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — employment ads with composited faces\n")
+	b.WriteString("A) % Black delivery: Black-face ad vs white-face ad (congruent when Black > white)\n")
+	sorted := append([]core.Fig7RacePoint(nil), race...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Job != sorted[j].Job {
+			return sorted[i].Job < sorted[j].Job
+		}
+		return sorted[i].ImpliedGender < sorted[j].ImpliedGender
+	})
+	for _, p := range sorted {
+		mark := "congruent  "
+		if p.BlackImage <= p.WhiteImage {
+			mark = "incongruent"
+		}
+		fmt.Fprintf(&b, "  %-18s %-7s black-img %5.1f%%  white-img %5.1f%%  %s\n",
+			p.Job, p.ImpliedGender, 100*p.BlackImage, 100*p.WhiteImage, mark)
+	}
+	fmt.Fprintf(&b, "  congruent share: %.0f%% (paper: 'the vast majority')\n", 100*core.CongruentRaceShare(race))
+	b.WriteString("B) % female delivery: female-face ad vs male-face ad\n")
+	sortedG := append([]core.Fig7GenderPoint(nil), gender...)
+	sort.Slice(sortedG, func(i, j int) bool {
+		if sortedG[i].Job != sortedG[j].Job {
+			return sortedG[i].Job < sortedG[j].Job
+		}
+		return sortedG[i].ImpliedRace < sortedG[j].ImpliedRace
+	})
+	var congruentG int
+	for _, p := range sortedG {
+		if p.FemaleImage > p.MaleImage {
+			congruentG++
+		}
+		fmt.Fprintf(&b, "  %-18s %-7s fem-img %5.1f%%  male-img %5.1f%%\n",
+			p.Job, p.ImpliedRace, 100*p.FemaleImage, 100*p.MaleImage)
+	}
+	fmt.Fprintf(&b, "  congruent share: %.0f%% (paper: roughly even — no systematic gender skew)\n",
+		100*float64(congruentG)/float64(len(sortedG)))
+	return b.String()
+}
+
+// Figure2Validation renders the E11 methodology-validation summary.
+func Figure2Validation(res *core.ValidationResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 2 methodology validation — inferred vs true racial makeup (oracle)\n")
+	fmt.Fprintf(&b, "  ads measured:            %d\n", res.Ads)
+	fmt.Fprintf(&b, "  mean |inferred - true|:  %.4f\n", res.MeanAbsError)
+	fmt.Fprintf(&b, "  max  |inferred - true|:  %.4f\n", res.MaxAbsError)
+	fmt.Fprintf(&b, "  out-of-state delivery:   %.2f%% (paper: <1%% for state splits)\n", 100*res.MeanOutOfState)
+	return b.String()
+}
+
+// PovertySummary renders the Appendix A context numbers.
+func PovertySummary(res *core.PovertyResult) string {
+	var b strings.Builder
+	b.WriteString("Appendix A — poverty-controlled experiment\n")
+	fmt.Fprintf(&b, "  median ZIP poverty, white-targeted voters: %.1f%% (paper: 12%%)\n", 100*res.PreMedianWhite)
+	fmt.Fprintf(&b, "  median ZIP poverty, Black-targeted voters: %.1f%% (paper: 16%%)\n", 100*res.PreMedianBlack)
+	fmt.Fprintf(&b, "  pre-matching  Welch t: Δ=%.4f p=%.2g\n", res.PreTest.DeltaM, res.PreTest.P)
+	fmt.Fprintf(&b, "  post-matching Welch t: Δ=%.4f p=%.2g\n", res.PostTest.DeltaM, res.PostTest.P)
+	fmt.Fprintf(&b, "  audience size: %d -> %d after matching (paper: 2,870,772 -> 1,730,212 per state)\n",
+		res.AudienceBefore, res.AudienceAfter)
+	fmt.Fprintf(&b, "  ads rejected by review: %d of %d (paper: 44 of 100 after appeal)\n",
+		res.RejectedSpecs, res.RejectedSpecs+res.SurvivingSpecs)
+	return b.String()
+}
+
+// Figure3RaceCI renders panel A of Figure 3 with bootstrap 95% confidence
+// intervals over the per-ad delivery fractions — the uncertainty the paper
+// conveys by plotting every ad as a tick mark.
+func Figure3RaceCI(ds []core.Delivery, seed int64) string {
+	var b strings.Builder
+	b.WriteString("Figure 3A with bootstrap 95% CIs — fraction of audience self-reported Black\n")
+	for _, a := range demo.AllImpliedAges() {
+		a := a
+		fmt.Fprintf(&b, "  %-12s", a)
+		for _, race := range []demo.Race{demo.RaceWhite, demo.RaceBlack} {
+			race := race
+			var vals []float64
+			for i := range ds {
+				d := &ds[i]
+				if d.Profile.Age == a && d.Profile.Race == race {
+					vals = append(vals, d.FracBlack)
+				}
+			}
+			if len(vals) < 2 {
+				fmt.Fprintf(&b, "  %s-img: (insufficient ads)", race)
+				continue
+			}
+			lo, hi, err := stats.BootstrapMeanCI(vals, 400, 0.95, seed)
+			if err != nil {
+				fmt.Fprintf(&b, "  %s-img: (CI error: %v)", race, err)
+				continue
+			}
+			fmt.Fprintf(&b, "  %s-img %5.1f%% [%4.1f, %4.1f]", race, 100*stats.Mean(vals), 100*lo, 100*hi)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

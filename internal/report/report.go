@@ -1,0 +1,222 @@
+// Package report renders the reproduction's results as the tables and
+// figures the paper presents: aligned ASCII tables for Tables 1-5 and A1,
+// dot/line plots for Figures 3-7, and CSV emitters for downstream analysis.
+// Each formatter includes the paper's reported values alongside the measured
+// ones so the shape comparison is visible in one place.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/adaudit/impliedidentity/internal/core"
+	"github.com/adaudit/impliedidentity/internal/stats"
+	"github.com/adaudit/impliedidentity/internal/voter"
+)
+
+// bar renders v within [lo, hi] as a fixed-width ASCII gauge.
+func bar(v, lo, hi float64, width int) string {
+	if width <= 0 {
+		width = 20
+	}
+	frac := (v - lo) / (hi - lo)
+	if math.IsNaN(frac) || frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}
+
+// Table1 renders the stratified-sample breakdown with the paper's values
+// for reference.
+func Table1(rows []voter.Table1Row) string {
+	paper := map[string]int{
+		"18-24": 44968, "25-34": 53586, "35-44": 51469,
+		"45-54": 61893, "55-64": 68211, "65+": 78719,
+	}
+	var b strings.Builder
+	b.WriteString("Table 1 — balanced target audience (per race×gender cell and total per age range)\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %16s\n", "Age", "Group size", "Total", "Paper group size")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %12d %12d %16d\n", r.Age, r.GroupSize, r.Total, paper[r.Age.String()])
+	}
+	return b.String()
+}
+
+// Table2 renders the campaign ledger.
+func Table2(rows []core.Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2 — campaign overview\n")
+	fmt.Fprintf(&b, "%-40s %5s %9s %-24s %8s %12s %10s %8s\n",
+		"Campaign", "Ads", "Age-limit", "Images", "Reach", "Impressions", "Spend", "Section")
+	for _, r := range rows {
+		limit := "No"
+		if r.AgeLimit {
+			limit = "Yes"
+		}
+		fmt.Fprintf(&b, "%-40s %5d %9s %-24s %8d %12d %9.2f$ %8s\n",
+			r.Campaign, r.Ads, limit, r.Images, r.Reach, r.Impressions, r.SpendDollars, r.Section)
+	}
+	return b.String()
+}
+
+// paperTable3 holds the published Table 3 values for side-by-side display.
+var paperTable3 = map[string][3]float64{
+	"race:black":      {0.738, 0.530, 0.789},
+	"race:white":      {0.563, 0.508, 0.722},
+	"gender:male":     {0.654, 0.532, 0.724},
+	"gender:female":   {0.641, 0.505, 0.786},
+	"age:child":       {0.651, 0.594, 0.725},
+	"age:teen":        {0.614, 0.482, 0.756},
+	"age:adult":       {0.651, 0.505, 0.705},
+	"age:middle-aged": {0.664, 0.502, 0.782},
+	"age:elderly":     {0.658, 0.524, 0.805},
+}
+
+// Table3 renders delivery breakdowns with the paper's values.
+func Table3(rows []core.Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3 — delivery breakdown by implied identity (measured | paper)\n")
+	fmt.Fprintf(&b, "%-18s %4s  %15s %15s %15s\n", "Implied identity", "Ads", "% Black", "% Female", "% Age 45+")
+	for _, r := range rows {
+		p := paperTable3[r.Group]
+		fmt.Fprintf(&b, "%-18s %4d  %6.1f%% | %4.1f%% %6.1f%% | %4.1f%% %6.1f%% | %4.1f%%\n",
+			r.Group, r.Ads,
+			100*r.FracBlack, 100*p[0],
+			100*r.FracFemale, 100*p[1],
+			100*r.FracAge45, 100*p[2])
+	}
+	return b.String()
+}
+
+// paperCoef is one published regression coefficient with its stars.
+type paperCoef struct {
+	value float64
+	stars string
+}
+
+// paperTable4 holds Table 4's published coefficients, indexed by variant
+// (a, b, c), model (Black, Female, Age), and term.
+var paperTable4 = map[string]map[string]map[string]paperCoef{
+	"a": {
+		"Black":  {"Intercept": {0.5697, "***"}, "Black": {0.1812, "***"}, "Female": {-0.0278, ""}, "Child": {0.0281, ""}, "Teen": {-0.0315, ""}, "Middle-aged": {0.0217, ""}, "Elderly": {0.0077, ""}},
+		"Female": {"Intercept": {0.5030, "***"}, "Black": {0.0258, ""}, "Female": {-0.0258, ""}, "Child": {0.0924, "***"}, "Teen": {-0.0205, ""}, "Middle-aged": {-0.0020, ""}, "Elderly": {0.0235, ""}},
+		"Age":    {"Intercept": {0.3286, "***"}, "Black": {0.0028, ""}, "Female": {0.0359, "**"}, "Child": {0.0328, ""}, "Teen": {0.0224, ""}, "Middle-aged": {0.0508, "**"}, "Elderly": {0.1180, "***"}},
+	},
+	"b": {
+		"Black":  {"Intercept": {0.5520, "***"}, "Black": {0.2534, "***"}, "Female": {-0.0146, ""}, "Child": {0.0829, ""}, "Teen": {0.0094, ""}, "Middle-aged": {0.0259, ""}, "Elderly": {0.0511, ""}},
+		"Female": {"Intercept": {0.4386, "***"}, "Black": {0.0185, ""}, "Female": {0.0780, "**"}, "Child": {0.1328, "***"}, "Teen": {-0.0301, ""}, "Middle-aged": {-0.0155, ""}, "Elderly": {-0.0274, ""}},
+		"Age":    {"Intercept": {0.4433, "***"}, "Black": {0.0343, "**"}, "Female": {0.0362, "**"}, "Child": {-0.0888, "***"}, "Teen": {-0.0240, ""}, "Middle-aged": {0.0459, "*"}, "Elderly": {-0.0044, ""}},
+	},
+	"c": {
+		"Black":  {"Intercept": {0.5480, "***"}, "Black": {0.2344, "***"}, "Female": {-0.0044, ""}, "Child": {0.0260, ""}, "Teen": {-0.0098, ""}, "Middle-aged": {0.0136, ""}, "Elderly": {0.0480, ""}},
+		"Female": {"Intercept": {0.3714, "***"}, "Black": {0.0212, ""}, "Female": {0.1377, "***"}, "Child": {0.1643, "***"}, "Teen": {0.0362, ""}, "Middle-aged": {-0.0102, ""}, "Elderly": {0.0111, ""}},
+		"Age":    {"Intercept": {0.4733, "***"}, "Black": {0.0169, ""}, "Female": {0.0134, ""}, "Child": {-0.0917, "***"}, "Teen": {-0.0644, "**"}, "Middle-aged": {-0.0076, ""}, "Elderly": {-0.0402, ""}},
+	},
+}
+
+// paperTable4R2 holds the published R² rows.
+var paperTable4R2 = map[string][3]float64{
+	"a": {0.622, 0.262, 0.464},
+	"b": {0.638, 0.314, 0.467},
+	"c": {0.606, 0.496, 0.225},
+}
+
+// Table4 renders one Table 4 variant (a, b, or c) with the published
+// coefficients alongside.
+func Table4(t *core.Table4, variant string) string {
+	ref, ok := paperTable4[variant]
+	if !ok {
+		ref = paperTable4["a"]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4%s — linear regression, measured | paper (stars: two-sided p)\n", variant)
+	fmt.Fprintf(&b, "%-14s %22s %22s %22s\n", "term", "% Black", "% Female", t.Target.String())
+	terms := []string{"Intercept", "Black", "Female", "Child", "Teen", "Middle-aged", "Elderly"}
+	models := []*stats.OLSResult{t.Black, t.Female, t.Age}
+	modelKeys := []string{"Black", "Female", "Age"}
+	for _, term := range terms {
+		fmt.Fprintf(&b, "%-14s", term)
+		for mi, m := range models {
+			var c, p float64
+			if term == "Intercept" {
+				c, p = m.Coef[0], m.PValue[0]
+			} else {
+				c, _ = m.Coefficient(term)
+				p, _ = m.PValueOf(term)
+			}
+			pc := ref[modelKeys[mi]][term]
+			fmt.Fprintf(&b, " %8.4f%-3s|%7.4f%-3s", c, stats.SignificanceStars(p), pc.value, pc.stars)
+		}
+		b.WriteString("\n")
+	}
+	r2 := paperTable4R2[variant]
+	fmt.Fprintf(&b, "%-14s %8.3f   |%7.3f    %8.3f   |%7.3f    %8.3f   |%7.3f\n",
+		"R²", models[0].R2, r2[0], models[1].R2, r2[1], models[2].R2, r2[2])
+	fmt.Fprintf(&b, "FDR-surviving terms (Benjamini-Hochberg, q < 0.05): %s\n",
+		strings.Join(t.FDRSignificant(0.05), ", "))
+	return b.String()
+}
+
+// paperTable5 holds the published Table 5 coefficients (implied-identity
+// term) per model.
+var paperTable5 = map[string]paperCoef{
+	"I":   {0.141, "***"},
+	"II":  {0.070, "*"},
+	"III": {0.105, "***"},
+	"IV":  {0.023, ""},
+	"V":   {-0.020, ""},
+	"VI":  {0.002, ""},
+}
+
+// Table5 renders the mixed-effects table with the published values.
+func Table5(t *core.Table5) string {
+	var b strings.Builder
+	b.WriteString("Table 5 — mixed-effects models (measured | paper)\n")
+	type row struct {
+		label string
+		key   string
+		m     *stats.MixedLMResult
+		term  string
+	}
+	rows := []row{
+		{"(I)   frac Black ~ implied Black | implied female ads", "I", t.RaceImpliedFemale, "Implied: Black"},
+		{"(II)  frac Black ~ implied Black | implied male ads", "II", t.RaceImpliedMale, "Implied: Black"},
+		{"(III) frac Black ~ implied Black | all ads", "III", t.RaceOverall, "Implied: Black"},
+		{"(IV)  frac female ~ implied female | implied Black ads", "IV", t.GenderImpliedBlack, "Implied: female"},
+		{"(V)   frac female ~ implied female | implied white ads", "V", t.GenderImpliedWhite, "Implied: female"},
+		{"(VI)  frac female ~ implied female | all ads", "VI", t.GenderOverall, "Implied: female"},
+	}
+	fmt.Fprintf(&b, "%-55s %10s %10s %12s %10s\n", "model", "coef", "paper", "adj.R²", "paper adjR²")
+	paperAdj := map[string]float64{"I": 0.446, "II": 0.117, "III": 0.288, "IV": -0.035, "V": -0.042, "VI": -0.024}
+	for _, r := range rows {
+		c, _ := r.m.Coefficient(r.term)
+		p, _ := r.m.PValueOf(r.term)
+		ref := paperTable5[r.key]
+		fmt.Fprintf(&b, "%-55s %7.3f%-3s %7.3f%-3s %12.3f %10.3f\n",
+			r.label, c, stats.SignificanceStars(p), ref.value, ref.stars, r.m.AdjR2, paperAdj[r.key])
+	}
+	return b.String()
+}
+
+// TableA1 renders the poverty-controlled regression with the published
+// values.
+func TableA1(res *stats.OLSResult) string {
+	paper := map[string]paperCoef{
+		"Intercept": {0.6171, "***"}, "Black": {0.0849, "**"}, "Female": {0.0186, ""},
+		"Teen": {0.0111, ""}, "Middle-aged": {0.0388, ""}, "Elderly": {0.0066, ""},
+	}
+	var b strings.Builder
+	b.WriteString("Table A1 — poverty-controlled regression on % Black (measured | paper)\n")
+	for i, n := range res.Names {
+		ref := paper[n]
+		fmt.Fprintf(&b, "%-14s %8.4f%-3s | %7.4f%-3s\n",
+			n, res.Coef[i], stats.SignificanceStars(res.PValue[i]), ref.value, ref.stars)
+	}
+	fmt.Fprintf(&b, "%-14s %8.3f    | %7.3f\n", "R²", res.R2, 0.392)
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI computes a percentile bootstrap confidence interval for a
+// statistic of a sample. The audit uses it to put uncertainty bands on
+// per-group delivery fractions, which the paper's figures convey through
+// per-ad tick marks.
+//
+// stat receives a resampled copy of the data and must not retain it.
+func BootstrapCI(data []float64, stat func([]float64) float64, resamples int, confidence float64, seed int64) (lo, hi float64, err error) {
+	if len(data) < 2 {
+		return 0, 0, fmt.Errorf("stats: bootstrap needs at least 2 observations, got %d", len(data))
+	}
+	if resamples < 10 {
+		return 0, 0, fmt.Errorf("stats: %d resamples too few", resamples)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	estimates := make([]float64, resamples)
+	scratch := make([]float64, len(data))
+	for b := 0; b < resamples; b++ {
+		for i := range scratch {
+			scratch[i] = data[rng.Intn(len(data))]
+		}
+		estimates[b] = stat(scratch)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - confidence) / 2
+	lo = Quantile(estimates, alpha)
+	hi = Quantile(estimates, 1-alpha)
+	return lo, hi, nil
+}
+
+// BootstrapMeanCI is BootstrapCI specialised to the mean.
+func BootstrapMeanCI(data []float64, resamples int, confidence float64, seed int64) (lo, hi float64, err error) {
+	return BootstrapCI(data, Mean, resamples, confidence, seed)
+}

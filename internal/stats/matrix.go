@@ -1,0 +1,284 @@
+// Package stats implements the statistical machinery the paper's analysis
+// relies on: dense linear algebra, the Student-t and normal distributions,
+// ordinary least squares with standard errors and p-values (Tables 4 and A1),
+// logistic regression (used both to find latent directions in §5.4 and to
+// train the platform's estimated-action-rate model), and a random-intercept
+// linear mixed model (Table 5). Only the standard library is used.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("stats: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from row slices, which must all have equal
+// length. The data is copied.
+func MatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("stats: no rows")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("stats: ragged rows: row %d has %d cols, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns m × b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("stats: dimension mismatch %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m × v for a column vector v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("stats: dimension mismatch %dx%d × %d-vector", m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// XtX computes Xᵀ·X, the Gram matrix (Cols×Cols, symmetric).
+func (m *Matrix) XtX() *Matrix {
+	out := NewMatrix(m.Cols, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < m.Cols; a++ {
+			ra := row[a]
+			if ra == 0 {
+				continue
+			}
+			orow := out.Row(a)
+			for b := a; b < m.Cols; b++ {
+				orow[b] += ra * row[b]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for a := 0; a < m.Cols; a++ {
+		for b := a + 1; b < m.Cols; b++ {
+			out.Set(b, a, out.At(a, b))
+		}
+	}
+	return out
+}
+
+// XtY computes Xᵀ·y for a response vector y of length Rows.
+func (m *Matrix) XtY(y []float64) ([]float64, error) {
+	if len(y) != m.Rows {
+		return nil, fmt.Errorf("stats: response length %d != rows %d", len(y), m.Rows)
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, rv := range row {
+			out[j] += rv * yi
+		}
+	}
+	return out, nil
+}
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// singular or not positive definite — in regression terms, when the design
+// matrix is rank deficient (perfectly collinear columns).
+var ErrNotPositiveDefinite = errors.New("stats: matrix not positive definite (collinear design?)")
+
+// Cholesky computes the lower-triangular L with L·Lᵀ = m for a symmetric
+// positive-definite m. Only the lower triangle of m is read.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("stats: Cholesky of non-square %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = m.At(j, j)
+		lj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		lj[j] = math.Sqrt(d)
+		inv := 1 / lj[j]
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			li := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			li[j] = s * inv
+		}
+	}
+	return l, nil
+}
+
+// CholSolve solves m·x = b given the Cholesky factor l of m (forward then
+// back substitution).
+func CholSolve(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("stats: rhs length %d != %d", len(b), n)
+	}
+	// Forward: L·z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		li := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= li[k] * z[k]
+		}
+		z[i] = s / li[i]
+	}
+	// Back: Lᵀ·x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// SymSolve solves m·x = b for symmetric positive-definite m. If m is not
+// positive definite it retries once with a small ridge (m + εI), which is the
+// standard remedy for near-collinear regression designs; if that also fails
+// the error is returned.
+func (m *Matrix) SymSolve(b []float64) ([]float64, error) {
+	l, err := m.Cholesky()
+	if err != nil {
+		r := m.Clone()
+		eps := 1e-8 * (1 + r.maxDiag())
+		for i := 0; i < r.Rows; i++ {
+			r.Set(i, i, r.At(i, i)+eps)
+		}
+		if l, err = r.Cholesky(); err != nil {
+			return nil, err
+		}
+	}
+	return CholSolve(l, b)
+}
+
+// SymInverse inverts a symmetric positive-definite matrix via its Cholesky
+// factor (solving against unit vectors).
+func (m *Matrix) SymInverse() (*Matrix, error) {
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col, err := CholSolve(l, e)
+		if err != nil {
+			return nil, err
+		}
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+func (m *Matrix) maxDiag() float64 {
+	var mx float64
+	for i := 0; i < m.Rows && i < m.Cols; i++ {
+		if v := math.Abs(m.At(i, i)); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}

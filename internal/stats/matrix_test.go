@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := MatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v", m.At(2, 1))
+	}
+	if _, err := MatrixFromRows([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged rows: want error")
+	}
+	if _, err := MatrixFromRows(nil); err == nil {
+		t.Error("empty: want error")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("dimension mismatch: want error")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(3+rng.Intn(4), 2+rng.Intn(5))
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		tt := m.T().T()
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return tt.Rows == m.Rows && tt.Cols == m.Cols
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXtXMatchesExplicitProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMatrix(20, 4)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	fast := m.XtX()
+	slow, err := m.T().Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast.Data {
+		if !almostEqual(fast.Data[i], slow.Data[i], 1e-10) {
+			t.Fatalf("XtX mismatch at %d: %v vs %v", i, fast.Data[i], slow.Data[i])
+		}
+	}
+}
+
+func TestCholeskySolveProperty(t *testing.T) {
+	// Property: for random SPD m = AᵀA + I and random b, SymSolve returns x
+	// with m·x ≈ b.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := NewMatrix(n+3, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		m := a.XtX()
+		for i := 0; i < n; i++ {
+			m.Set(i, i, m.At(i, i)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := m.SymSolve(b)
+		if err != nil {
+			return false
+		}
+		back, err := m.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if !almostEqual(back[i], b[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m, _ := MatrixFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := m.Cholesky(); err == nil {
+		t.Error("indefinite matrix: want error")
+	}
+	if _, err := NewMatrix(2, 3).Cholesky(); err == nil {
+		t.Error("non-square: want error")
+	}
+}
+
+func TestSymInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewMatrix(10, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	m := a.XtX()
+	for i := 0; i < 4; i++ {
+		m.Set(i, i, m.At(i, i)+0.5)
+	}
+	inv, err := m.SymInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := m.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(prod.At(i, j), want, 1e-8) {
+				t.Errorf("m·m⁻¹ (%d,%d) = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := MatrixFromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	got, err := m.MulVec([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 6 {
+		t.Errorf("MulVec = %v", got)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}

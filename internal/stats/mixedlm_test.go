@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// simulateGrouped draws data from y = b0 + b1*x + u_g + eps with u_g ~
+// N(0, tau²), eps ~ N(0, sigma²).
+func simulateGrouped(rng *rand.Rand, nGroups, perGroup int, b0, b1, tau, sigma float64) (*Matrix, []float64, []string) {
+	n := nGroups * perGroup
+	x := NewMatrix(n, 1)
+	y := make([]float64, n)
+	groups := make([]string, n)
+	row := 0
+	for g := 0; g < nGroups; g++ {
+		u := tau * rng.NormFloat64()
+		name := fmt.Sprintf("g%02d", g)
+		for k := 0; k < perGroup; k++ {
+			v := rng.NormFloat64()
+			x.Set(row, 0, v)
+			y[row] = b0 + b1*v + u + sigma*rng.NormFloat64()
+			groups[row] = name
+			row++
+		}
+	}
+	return x, y, groups
+}
+
+func TestMixedLMRecoversFixedEffects(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x, y, groups := simulateGrouped(rng, 12, 40, 0.5, 0.14, 0.08, 0.05)
+	res, err := MixedLM([]string{"x"}, x, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Coef[0]-0.5) > 0.08 {
+		t.Errorf("intercept = %v, want ≈ 0.5", res.Coef[0])
+	}
+	if math.Abs(res.Coef[1]-0.14) > 0.02 {
+		t.Errorf("slope = %v, want ≈ 0.14", res.Coef[1])
+	}
+	if p, _ := res.PValueOf("x"); p > 0.001 {
+		t.Errorf("strong slope p = %v", p)
+	}
+}
+
+func TestMixedLMVarianceComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const tau, sigma = 0.1, 0.05
+	x, y, groups := simulateGrouped(rng, 40, 30, 0, 0.1, tau, sigma)
+	res, err := MixedLM([]string{"x"}, x, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ResidualVar-sigma*sigma) > 0.3*sigma*sigma {
+		t.Errorf("σ² = %v, want ≈ %v", res.ResidualVar, sigma*sigma)
+	}
+	if math.Abs(res.GroupVar-tau*tau) > 0.6*tau*tau {
+		t.Errorf("τ² = %v, want ≈ %v", res.GroupVar, tau*tau)
+	}
+}
+
+func TestMixedLMZeroGroupVariance(t *testing.T) {
+	// Data with no group effect: REML should choose θ near zero and match
+	// plain OLS coefficients closely.
+	rng := rand.New(rand.NewSource(23))
+	x, y, groups := simulateGrouped(rng, 10, 50, 1, 2, 0, 0.1)
+	res, err := MixedLM([]string{"x"}, x, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ols, err := OLS([]string{"x"}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Coef[1]-ols.Coef[1]) > 0.01 {
+		t.Errorf("slope: mixed %v vs OLS %v", res.Coef[1], ols.Coef[1])
+	}
+	if res.GroupVar > 0.02 {
+		t.Errorf("spurious group variance %v", res.GroupVar)
+	}
+}
+
+func TestMixedLMShrinksBLUPs(t *testing.T) {
+	// BLUPs should be pulled toward zero relative to raw group means of the
+	// residuals (shrinkage property), and ordered the same way.
+	rng := rand.New(rand.NewSource(24))
+	x, y, groups := simulateGrouped(rng, 8, 6, 0, 0, 0.3, 0.3)
+	res, err := MixedLM([]string{"x"}, x, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw residual means per group (vs fixed effects only).
+	raw := map[string]float64{}
+	cnt := map[string]int{}
+	for i, g := range groups {
+		pred := res.Coef[0] + res.Coef[1]*x.At(i, 0)
+		raw[g] += y[i] - pred
+		cnt[g]++
+	}
+	for gi, g := range res.GroupNames {
+		rm := raw[g] / float64(cnt[g])
+		blup := res.GroupIntercepts[gi]
+		if math.Abs(blup) > math.Abs(rm)+1e-9 {
+			t.Errorf("group %s: |BLUP| %v exceeds |raw mean| %v", g, blup, rm)
+		}
+		if rm != 0 && blup*rm < 0 {
+			t.Errorf("group %s: BLUP sign flipped (%v vs %v)", g, blup, rm)
+		}
+	}
+}
+
+func TestMixedLMNullEffectCanHaveNegativeAdjR2(t *testing.T) {
+	// Table 5's gender models report negative adjusted R²: a fixed effect
+	// explaining nothing. Reproduce that behaviour.
+	rng := rand.New(rand.NewSource(25))
+	n := 44
+	x := NewMatrix(n, 1)
+	y := make([]float64, n)
+	groups := make([]string, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i%2))
+		groups[i] = fmt.Sprintf("g%d", i/4)
+		y[i] = 0.5 + 0.2*rng.NormFloat64()
+	}
+	res, err := MixedLM([]string{"dummy"}, x, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := res.PValueOf("dummy"); p < 0.01 {
+		t.Errorf("null effect p = %v, suspiciously significant", p)
+	}
+	if res.AdjR2 > 0.2 {
+		t.Errorf("null-effect adjusted R² = %v", res.AdjR2)
+	}
+}
+
+func TestMixedLMErrors(t *testing.T) {
+	x := NewMatrix(4, 1)
+	y := make([]float64, 4)
+	if _, err := MixedLM([]string{"x"}, x, y, []string{"a", "a", "a", "a"}); !errors.Is(err, ErrNeedGroups) {
+		t.Errorf("single group: want ErrNeedGroups, got %v", err)
+	}
+	if _, err := MixedLM([]string{"x", "y"}, x, y, []string{"a", "b", "a", "b"}); err == nil {
+		t.Error("name mismatch: want error")
+	}
+	if _, err := MixedLM([]string{"x"}, x, y[:3], []string{"a", "b", "a", "b"}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	tiny := NewMatrix(2, 1)
+	if _, err := MixedLM([]string{"x"}, tiny, []float64{1, 2}, []string{"a", "b"}); !errors.Is(err, ErrTooFewObservations) {
+		t.Errorf("n<=p: want ErrTooFewObservations, got %v", err)
+	}
+}
+
+func TestMixedLMAccessorsAndString(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	x, y, groups := simulateGrouped(rng, 5, 10, 1, 0.5, 0.1, 0.1)
+	res, err := MixedLM([]string{"x"}, x, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Coefficient("x"); !ok {
+		t.Error("Coefficient(x) not found")
+	}
+	if _, ok := res.Coefficient("nope"); ok {
+		t.Error("Coefficient(nope) should be !ok")
+	}
+	if _, ok := res.PValueOf("nope"); ok {
+		t.Error("PValueOf(nope) should be !ok")
+	}
+	if s := res.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+	if len(res.GroupNames) != 5 || len(res.GroupIntercepts) != 5 {
+		t.Errorf("group bookkeeping: %d names, %d intercepts", len(res.GroupNames), len(res.GroupIntercepts))
+	}
+}

@@ -1,0 +1,178 @@
+package voter
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+)
+
+// GeneratorConfig controls synthetic registry generation.
+type GeneratorConfig struct {
+	State demo.State
+	Seed  int64
+	// NumVoters is the registry size. The default presets keep every
+	// stratification cell populated well beyond the sampler's needs.
+	NumVoters int
+	// NumZIPs is the number of distinct ZIP codes in the state.
+	NumZIPs int
+	// BlackShare is the overall fraction of Black voters. Real registries
+	// are not balanced; the stratified sampler is what produces balance.
+	BlackShare float64
+	// PovertyRaceCorrelation in [0,1] controls how strongly a ZIP's Black
+	// population share tracks its poverty rate, reproducing the residential-
+	// segregation pattern Appendix A controls for. 0 decouples them.
+	PovertyRaceCorrelation float64
+}
+
+// DefaultGeneratorConfig returns the configuration used by the full-scale
+// experiments for the given state.
+func DefaultGeneratorConfig(state demo.State, seed int64) GeneratorConfig {
+	return GeneratorConfig{
+		State:                  state,
+		Seed:                   seed,
+		NumVoters:              120000,
+		NumZIPs:                120,
+		BlackShare:             0.30,
+		PovertyRaceCorrelation: 0.6,
+	}
+}
+
+type zipInfo struct {
+	code       string
+	city       string
+	poverty    float64
+	blackShare float64
+	weight     float64 // sampling weight (population proxy)
+}
+
+// Generate builds a synthetic registry. Generation is deterministic in the
+// seed. Demographic marginals: gender ≈ 50/50, ages drawn from a voter-file
+// distribution that skews older, race by ZIP composition.
+func Generate(cfg GeneratorConfig) (*Registry, error) {
+	if cfg.State != demo.StateFL && cfg.State != demo.StateNC {
+		return nil, fmt.Errorf("voter: generate for non-study state %v", cfg.State)
+	}
+	if cfg.NumVoters <= 0 || cfg.NumZIPs <= 0 {
+		return nil, fmt.Errorf("voter: need positive NumVoters (%d) and NumZIPs (%d)", cfg.NumVoters, cfg.NumZIPs)
+	}
+	if cfg.BlackShare <= 0 || cfg.BlackShare >= 1 {
+		return nil, fmt.Errorf("voter: BlackShare %v outside (0,1)", cfg.BlackShare)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cities := cityNamesFL
+	zipBase := 32000 // FL ZIPs are 32xxx-34xxx
+	idPrefix := "FL"
+	if cfg.State == demo.StateNC {
+		cities = cityNamesNC
+		zipBase = 27000 // NC ZIPs are 27xxx-28xxx
+		idPrefix = "NC"
+	}
+
+	// Build ZIPs. Poverty ~ scaled Beta-like draw; Black share mixes the
+	// statewide share with a poverty-linked component.
+	zips := make([]zipInfo, cfg.NumZIPs)
+	zipPoverty := make(map[string]float64, cfg.NumZIPs)
+	for i := range zips {
+		pov := 0.03 + 0.30*math.Pow(rng.Float64(), 1.7) // long right tail, mean ≈ 0.12
+		// Map poverty to a z-ish score in [-1, 1] around the median.
+		povScore := (pov - 0.12) / 0.15
+		if povScore > 1 {
+			povScore = 1
+		} else if povScore < -1 {
+			povScore = -1
+		}
+		// Logit-normal ZIP composition: residential segregation makes real
+		// ZIP race shares highly dispersed (a few percent to near-total),
+		// which both Appendix A and the lookalike extension depend on.
+		logit := math.Log(cfg.BlackShare/(1-cfg.BlackShare)) +
+			1.5*cfg.PovertyRaceCorrelation*povScore + 0.7*rng.NormFloat64()
+		share := 1 / (1 + math.Exp(-logit))
+		if share < 0.02 {
+			share = 0.02
+		} else if share > 0.97 {
+			share = 0.97
+		}
+		zips[i] = zipInfo{
+			code:       fmt.Sprintf("%05d", zipBase+rng.Intn(2000)),
+			city:       cities[rng.Intn(len(cities))],
+			poverty:    pov,
+			blackShare: share,
+			weight:     0.2 + rng.Float64(),
+		}
+		zipPoverty[zips[i].code] = pov
+	}
+	var totalWeight float64
+	for i := range zips {
+		totalWeight += zips[i].weight
+	}
+
+	records := make([]Record, 0, cfg.NumVoters)
+	for i := 0; i < cfg.NumVoters; i++ {
+		z := &zips[pickWeighted(rng, zips, totalWeight)]
+		g := demo.GenderMale
+		gc := 'M'
+		if rng.Float64() < 0.5 {
+			g = demo.GenderFemale
+			gc = 'F'
+		}
+		race := demo.RaceWhite
+		if rng.Float64() < z.blackShare {
+			race = demo.RaceBlack
+		}
+		rec := Record{
+			ID:        fmt.Sprintf("%s%08d", idPrefix, i+1),
+			FirstName: randomFirstName(rng, gc),
+			LastName:  randomLastName(rng),
+			Address:   fmt.Sprintf("%d %s", 1+rng.Intn(9999), randomStreet(rng)),
+			City:      z.city,
+			State:     cfg.State,
+			ZIP:       z.code,
+			Gender:    g,
+			Race:      race,
+			BirthYear: StudyYear - sampleVoterAge(rng),
+		}
+		records = append(records, rec)
+	}
+	return &Registry{State: cfg.State, Records: records, ZIPPoverty: zipPoverty}, nil
+}
+
+func pickWeighted(rng *rand.Rand, zips []zipInfo, total float64) int {
+	t := rng.Float64() * total
+	for i := range zips {
+		t -= zips[i].weight
+		if t <= 0 {
+			return i
+		}
+	}
+	return len(zips) - 1
+}
+
+// sampleVoterAge draws an age from a distribution resembling registered-
+// voter files: adults only, skewing older. Bucket weights approximate the
+// relative registry sizes implied by Table 1 (older buckets are larger).
+var voterAgeBucketWeights = []struct {
+	bucket demo.AgeBucket
+	weight float64
+}{
+	{demo.Age18to24, 0.11},
+	{demo.Age25to34, 0.15},
+	{demo.Age35to44, 0.15},
+	{demo.Age45to54, 0.17},
+	{demo.Age55to64, 0.19},
+	{demo.Age65Plus, 0.23},
+}
+
+func sampleVoterAge(rng *rand.Rand) int {
+	t := rng.Float64()
+	for _, w := range voterAgeBucketWeights {
+		t -= w.weight
+		if t <= 0 {
+			lo, hi := w.bucket.Bounds()
+			return lo + rng.Intn(hi-lo+1)
+		}
+	}
+	return 70
+}

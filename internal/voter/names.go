@@ -1,0 +1,63 @@
+package voter
+
+import "math/rand"
+
+// Name pools for the synthetic registries. The specific names carry no
+// signal — Custom Audience matching hashes them — but distinct, plausible
+// values exercise the PII normalization path the way real extracts would.
+var (
+	firstNamesMale = []string{
+		"James", "Robert", "John", "Michael", "David", "William", "Richard",
+		"Joseph", "Thomas", "Charles", "Christopher", "Daniel", "Matthew",
+		"Anthony", "Mark", "Donald", "Steven", "Andrew", "Paul", "Joshua",
+		"Kenneth", "Kevin", "Brian", "George", "Timothy", "Ronald", "Jason",
+		"Edward", "Jeffrey", "Ryan", "Jacob", "Gary", "Nicholas", "Eric",
+	}
+	firstNamesFemale = []string{
+		"Mary", "Patricia", "Jennifer", "Linda", "Elizabeth", "Barbara",
+		"Susan", "Jessica", "Sarah", "Karen", "Lisa", "Nancy", "Betty",
+		"Sandra", "Margaret", "Ashley", "Kimberly", "Emily", "Donna",
+		"Michelle", "Carol", "Amanda", "Melissa", "Deborah", "Stephanie",
+		"Dorothy", "Rebecca", "Sharon", "Laura", "Cynthia", "Amy", "Angela",
+	}
+	lastNames = []string{
+		"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+		"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+		"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson",
+		"Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+		"Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen",
+		"King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+		"Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell",
+	}
+	streetNames = []string{
+		"Oak St", "Maple Ave", "Pine Rd", "Cedar Ln", "Elm Dr", "Main St",
+		"Church St", "Park Ave", "Lake Dr", "Hill Rd", "River Rd",
+		"Sunset Blvd", "Magnolia Way", "Palmetto St", "Cypress Ct",
+		"Dogwood Ln", "Azalea Dr", "Bay St", "Gulf Blvd", "Atlantic Ave",
+	}
+	cityNamesFL = []string{
+		"Jacksonville", "Miami", "Tampa", "Orlando", "St. Petersburg",
+		"Hialeah", "Tallahassee", "Fort Lauderdale", "Cape Coral",
+		"Pembroke Pines", "Gainesville", "Sarasota",
+	}
+	cityNamesNC = []string{
+		"Charlotte", "Raleigh", "Greensboro", "Durham", "Winston-Salem",
+		"Fayetteville", "Cary", "Wilmington", "High Point", "Asheville",
+		"Concord", "Greenville",
+	}
+)
+
+func randomFirstName(rng *rand.Rand, g rune) string {
+	if g == 'F' {
+		return firstNamesFemale[rng.Intn(len(firstNamesFemale))]
+	}
+	return firstNamesMale[rng.Intn(len(firstNamesMale))]
+}
+
+func randomLastName(rng *rand.Rand) string {
+	return lastNames[rng.Intn(len(lastNames))]
+}
+
+func randomStreet(rng *rand.Rand) string {
+	return streetNames[rng.Intn(len(streetNames))]
+}

@@ -1,0 +1,106 @@
+// Package voter implements the public-voter-record substrate the paper's
+// methodology is built on (§3.2-§3.3): registry records with self-reported
+// race and gender, the Florida and North Carolina extract file formats, a
+// synthetic registry generator (the real files are public records, but we
+// cannot ship them; the generator produces registries with realistic
+// marginals and the poverty/race correlation Appendix A depends on), the
+// stratified sampler that builds balanced target audiences (Table 1), and
+// the poverty-matched subsampler from Appendix A.
+package voter
+
+import (
+	"fmt"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+)
+
+// StudyYear is the reference year for converting birth years to ages; the
+// paper's campaigns ran in 2022.
+const StudyYear = 2022
+
+// Record is one voter-registration record, carrying the fields the audit
+// methodology consumes: PII for Custom Audience matching (name + address)
+// and the self-reported demographics used for stratification and, for race,
+// as measurement ground truth.
+type Record struct {
+	ID        string // state voter ID
+	FirstName string
+	LastName  string
+	Address   string // street address
+	City      string
+	State     demo.State
+	ZIP       string
+	Gender    demo.Gender
+	Race      demo.Race
+	BirthYear int
+}
+
+// Age returns the voter's age in the study year.
+func (r *Record) Age() int { return StudyYear - r.BirthYear }
+
+// AgeBucket returns the Facebook reporting bucket the voter falls into.
+func (r *Record) AgeBucket() demo.AgeBucket { return demo.BucketForAge(r.Age()) }
+
+// Validate performs basic integrity checks on a parsed record.
+func (r *Record) Validate() error {
+	if r.ID == "" {
+		return fmt.Errorf("voter: record missing ID")
+	}
+	if r.State != demo.StateFL && r.State != demo.StateNC {
+		return fmt.Errorf("voter %s: state %v is not a study state", r.ID, r.State)
+	}
+	if age := r.Age(); age < 18 || age > 120 {
+		return fmt.Errorf("voter %s: implausible age %d", r.ID, age)
+	}
+	if len(r.ZIP) != 5 {
+		return fmt.Errorf("voter %s: malformed ZIP %q", r.ID, r.ZIP)
+	}
+	return nil
+}
+
+// Registry is a set of voter records from one state together with the ZIP-
+// level poverty rates used in the Appendix A analysis.
+type Registry struct {
+	State   demo.State
+	Records []Record
+	// ZIPPoverty maps ZIP code to the fraction of the ZIP's residents below
+	// the poverty line (the proxy Appendix A uses for economic status).
+	ZIPPoverty map[string]float64
+}
+
+// Cell identifies one stratification cell: the intersection of age bucket,
+// gender, and race within which Table 1 requires equal counts.
+type Cell struct {
+	Age    demo.AgeBucket
+	Gender demo.Gender
+	Race   demo.Race
+}
+
+// String formats the cell for diagnostics.
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s/%s", c.Age, c.Gender, c.Race)
+}
+
+// CellCounts tallies records per stratification cell.
+func CellCounts(records []Record) map[Cell]int {
+	out := map[Cell]int{}
+	for i := range records {
+		r := &records[i]
+		out[Cell{Age: r.AgeBucket(), Gender: r.Gender, Race: r.Race}]++
+	}
+	return out
+}
+
+// StudyCells enumerates the 6 age buckets × 2 genders × 2 races = 24 cells
+// the balanced audiences are stratified over.
+func StudyCells() []Cell {
+	var out []Cell
+	for _, a := range demo.AllAgeBuckets() {
+		for _, g := range []demo.Gender{demo.GenderMale, demo.GenderFemale} {
+			for _, r := range []demo.Race{demo.RaceWhite, demo.RaceBlack} {
+				out = append(out, Cell{Age: a, Gender: g, Race: r})
+			}
+		}
+	}
+	return out
+}
