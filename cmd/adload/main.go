@@ -1,0 +1,254 @@
+// Command adload generates concurrent advertiser traffic against the
+// marketing API and reports serving latency and throughput. It either
+// targets a running adplatform server over TCP or self-hosts an in-process
+// one, runs virtual-advertiser scenarios (upload audience → create campaign
+// → create ads → deliver → poll insights) in closed-loop or open-loop mode,
+// prints a human summary table, and optionally writes the machine-readable
+// JSON report future perf PRs compare against.
+//
+// Self-hosted smoke run (deterministic workload under a fixed seed):
+//
+//	adload -scenarios 6 -concurrency 3 -seed 1 -out BENCH_serving_v1.json
+//
+// Against a running server (hashes come from the voter extract the server
+// wrote with -voterdir):
+//
+//	adplatform -addr 127.0.0.1:8399 -voterdir /tmp/voters &
+//	adload -target http://127.0.0.1:8399 -voterfile /tmp/voters/fl_voter_extract.txt \
+//	       -mode open -rps 10 -scenarios 50
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/loadgen"
+	"github.com/adaudit/impliedidentity/internal/marketing"
+	"github.com/adaudit/impliedidentity/internal/obs"
+	"github.com/adaudit/impliedidentity/internal/platform"
+	"github.com/adaudit/impliedidentity/internal/population"
+	"github.com/adaudit/impliedidentity/internal/report"
+	"github.com/adaudit/impliedidentity/internal/voter"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "adload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("adload", flag.ContinueOnError)
+	target := fs.String("target", "", "base URL of a running adplatform server; empty self-hosts one in-process")
+	voterFile := fs.String("voterfile", "", "FL-layout voter extract to derive audience PII hashes from (required with -target)")
+	mode := fs.String("mode", "closed", "driving discipline: closed (fixed concurrency) or open (Poisson arrivals)")
+	concurrency := fs.Int("concurrency", 4, "closed-loop worker count")
+	rps := fs.Float64("rps", 4, "open-loop scenario arrival rate per second")
+	scenarios := fs.Int("scenarios", 8, "virtual advertisers to run")
+	ads := fs.Int("ads", 2, "ads per campaign")
+	audience := fs.Int("audience", 200, "PII hashes per audience upload")
+	polls := fs.Int("polls", 2, "insights polls per delivered ad")
+	seed := fs.Int64("seed", 1, "workload seed (and world seed when self-hosting)")
+	duration := fs.Duration("duration", 0, "wall-clock cap on the run; 0 = run all scenarios")
+	throttle := fs.Duration("throttle", 0, "client-side minimum interval between requests; 0 disables")
+	out := fs.String("out", "", "path to write the JSON report (BENCH_serving schema)")
+	voters := fs.Int("voters", 8000, "self-hosted world: voters in the registry")
+	logRows := fs.Int("logrows", 3000, "self-hosted world: engagement-log rows for eAR training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	baseURL := *target
+	var hashes []string
+	if *target == "" {
+		fmt.Fprintf(stdout, "self-hosting a platform (%d voters, seed %d)...\n", *voters, *seed)
+		ts, pool, err := selfHost(*seed, *voters, *logRows)
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		baseURL = ts.URL
+		hashes = pool
+	} else {
+		if *voterFile == "" {
+			return fmt.Errorf("targeting %s requires -voterfile to build audiences (run adplatform with -voterdir)", *target)
+		}
+		pool, err := hashesFromExtract(*voterFile)
+		if err != nil {
+			return err
+		}
+		hashes = pool
+	}
+
+	client, err := marketing.NewClient(baseURL)
+	if err != nil {
+		return err
+	}
+	if *throttle > 0 {
+		client.SetMinInterval(*throttle)
+	}
+	runner, err := loadgen.New(loadgen.Config{
+		Seed:           *seed,
+		Mode:           loadgen.Mode(*mode),
+		Workers:        *concurrency,
+		ArrivalRPS:     *rps,
+		Scenarios:      *scenarios,
+		AdsPerCampaign: *ads,
+		AudienceSize:   *audience,
+		InsightsPolls:  *polls,
+		Hashes:         hashes,
+	}, client)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+	fmt.Fprintf(stdout, "running %d scenarios (%s mode) against %s...\n", *scenarios, *mode, baseURL)
+	rep, runErr := runner.Run(ctx)
+	if runErr != nil && !errors.Is(runErr, context.DeadlineExceeded) {
+		return runErr
+	}
+	if errors.Is(runErr, context.DeadlineExceeded) {
+		fmt.Fprintf(stdout, "duration cap hit after %v: %d of %d scenarios completed\n",
+			*duration, rep.ScenariosCompleted, *scenarios)
+	}
+
+	if snap, err := fetchMetrics(baseURL); err == nil {
+		rep.ServerMetrics = snap
+	} else {
+		fmt.Fprintf(stdout, "warning: could not scrape %s/metrics: %v\n", baseURL, err)
+	}
+
+	fmt.Fprint(stdout, summarize(rep))
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)
+	}
+	return nil
+}
+
+// selfHost builds the synthetic world and serves the marketing API from an
+// in-process listener, returning the server and the audience hash pool.
+func selfHost(seed int64, numVoters, logRows int) (*httptest.Server, []string, error) {
+	flCfg := voter.DefaultGeneratorConfig(demo.StateFL, seed+1)
+	flCfg.NumVoters = numVoters
+	fl, err := voter.Generate(flCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pop, err := population.Build(population.Config{Seed: seed + 3}, fl)
+	if err != nil {
+		return nil, nil, err
+	}
+	behave, err := population.NewBehavior(population.DefaultBehaviorConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := platform.DefaultConfig(seed + 4)
+	cfg.Training.LogRows = logRows
+	// Disable the (default 1%) ad-review rejection so the request counts of
+	// a fixed-seed run are exactly reproducible, which the benchmark report
+	// relies on. Review strictness has its own coverage in internal/platform.
+	cfg.ReviewRejectProb = 0
+	plat, err := platform.New(cfg, pop, behave)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := marketing.NewServer(plat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return httptest.NewServer(srv.Handler()), hashesFromRecords(fl.Records), nil
+}
+
+// hashesFromExtract derives the audience hash pool from an FL-layout voter
+// extract, the same client-side hashing path the audit tooling uses.
+func hashesFromExtract(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := voter.ParseFL(f)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return hashesFromRecords(records), nil
+}
+
+func hashesFromRecords(records []voter.Record) []string {
+	hashes := make([]string, 0, len(records))
+	for i := range records {
+		r := &records[i]
+		hashes = append(hashes, population.HashPII(r.FirstName, r.LastName, r.Address, r.ZIP))
+	}
+	return hashes
+}
+
+// fetchMetrics scrapes the target's GET /metrics endpoint.
+func fetchMetrics(baseURL string) (*obs.Snapshot, error) {
+	httpClient := &http.Client{Timeout: 10 * time.Second}
+	resp, err := httpClient.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// summarize renders the human-readable result: the per-operation latency
+// table plus, when available, the server-side per-endpoint view.
+func summarize(rep *loadgen.Report) string {
+	title := fmt.Sprintf("Serving load test — %s mode, seed %d, %d/%d scenarios",
+		rep.Mode, rep.Seed, rep.ScenariosCompleted, rep.Scenarios)
+	rows := make([]report.ServingRow, 0, len(rep.Operations))
+	for _, op := range loadgen.Ops {
+		o, ok := rep.Operations[op]
+		if !ok {
+			continue
+		}
+		rows = append(rows, report.ServingRow{
+			Op:       op,
+			Requests: o.Requests,
+			Errors:   o.Errors,
+			P50Ms:    o.Latency.P50Ms,
+			P90Ms:    o.Latency.P90Ms,
+			P99Ms:    o.Latency.P99Ms,
+			MaxMs:    o.Latency.MaxMs,
+		})
+	}
+	out := report.ServingSummary(title, rows, rep.WallSeconds, rep.ThroughputRPS, rep.Errors)
+	if rep.ServerMetrics != nil {
+		out += fmt.Sprintf("server: %d requests counted, %d in flight at scrape\n",
+			rep.ServerMetrics.Counters[obs.MetricRequests],
+			rep.ServerMetrics.Gauges[obs.MetricInFlight])
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/adaudit/impliedidentity/internal/loadgen"
+	"github.com/adaudit/impliedidentity/internal/obs"
+)
+
+// TestSelfHostedSmokeRun is the end-to-end check the CI smoke job repeats: a
+// fixed-seed self-hosted run must complete without errors, print the latency
+// table, and write a report whose client-side counts match the server-side
+// /metrics counters embedded in it.
+func TestSelfHostedSmokeRun(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	var buf strings.Builder
+	err := run([]string{
+		"-scenarios", "4", "-concurrency", "2", "-ads", "1", "-audience", "100",
+		"-seed", "7", "-voters", "4000", "-logrows", "1500", "-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("smoke run: %v\noutput:\n%s", err, buf.String())
+	}
+	stdout := buf.String()
+	for _, want := range []string{"Operation", "create_ad", "deliver", "insights", "req/s", "wrote " + out} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := loadgen.ReadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 7 || rep.ScenariosCompleted != 4 || rep.ScenariosFailed != 0 || rep.Errors != 0 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	// Deterministic workload: 4 audiences + 4 campaigns + 4 ads + 4
+	// delivers + 4×1×2 insights polls.
+	wantOps := map[string]int64{
+		loadgen.OpCreateAudience: 4,
+		loadgen.OpCreateCampaign: 4,
+		loadgen.OpCreateAd:       4,
+		loadgen.OpDeliver:        4,
+		loadgen.OpInsights:       8,
+	}
+	for op, n := range wantOps {
+		got := rep.Operations[op]
+		if got.Requests != n || got.Errors != 0 {
+			t.Errorf("%s: %+v, want %d requests", op, got, n)
+		}
+		if got.Latency.Count != n || got.Latency.P50Ms < 0 || got.Latency.P99Ms < got.Latency.P50Ms {
+			t.Errorf("%s latency: %+v", op, got.Latency)
+		}
+	}
+	if rep.ServerMetrics == nil {
+		t.Fatal("report should embed the server /metrics snapshot")
+	}
+	serverTotal := rep.ServerMetrics.Counters[obs.MetricRequests]
+	// The scrape itself is not counted (GET /metrics is uninstrumented), so
+	// server-side total equals the client's request count exactly.
+	if serverTotal != rep.Requests {
+		t.Errorf("server counted %d requests, client sent %d", serverTotal, rep.Requests)
+	}
+	if rep.ServerMetrics.Counters[obs.MetricRequests+"|POST /v1/ads"] != wantOps[loadgen.OpCreateAd] {
+		t.Errorf("server POST /v1/ads counter: %d", rep.ServerMetrics.Counters[obs.MetricRequests+"|POST /v1/ads"])
+	}
+}
+
+func TestExternalTargetRequiresVoterFile(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-target", "http://127.0.0.1:1"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-voterfile") {
+		t.Errorf("want -voterfile error, got %v", err)
+	}
+}
+
+func TestBadFlagsFailFast(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-scenarios", "many"}, &buf); err == nil {
+		t.Error("bad flag value: want error")
+	}
+	if err := run([]string{"-mode", "bursty", "-voters", "4000", "-logrows", "1500"}, &buf); err == nil {
+		t.Error("unknown mode: want error")
+	}
+}

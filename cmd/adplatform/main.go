@@ -14,12 +14,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"github.com/adaudit/impliedidentity/internal/demo"
@@ -90,9 +94,35 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("marketing API listening at http://%s (%d users)\n", ln.Addr(), len(pop.Users))
+	fmt.Printf("marketing API listening at http://%s (%d users); metrics at /metrics, liveness at /healthz\n",
+		ln.Addr(), len(pop.Users))
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	return httpSrv.Serve(ln)
+
+	// Serve until the listener fails or a shutdown signal arrives, then
+	// drain in-flight requests and log the final serving counters so a
+	// load-test session ends with a server-side record.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("signal received, draining in-flight requests...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("final serving metrics:")
+	fmt.Print(srv.Metrics().Snapshot().String())
+	return nil
 }
 
 func writeExtracts(dir string, fl, nc *voter.Registry) error {

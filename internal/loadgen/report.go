@@ -1,0 +1,80 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/adaudit/impliedidentity/internal/obs"
+)
+
+// ReportSchema tags the JSON layout so future perf PRs can extend it while
+// still parsing old trajectory points (BENCH_serving_v*.json).
+const ReportSchema = "adaudit/bench-serving/v1"
+
+// OpReport is one operation's client-side accounting.
+type OpReport struct {
+	Requests int64                 `json:"requests"`
+	Errors   int64                 `json:"errors"`
+	Latency  obs.HistogramSnapshot `json:"latency"`
+}
+
+// Report is the machine-readable result of a load run. Checked into the
+// repo as BENCH_serving_v1.json it forms the serving-performance trajectory
+// later PRs compare against.
+type Report struct {
+	Schema             string  `json:"schema"`
+	Name               string  `json:"name"`
+	Seed               int64   `json:"seed"`
+	Mode               string  `json:"mode"`
+	Workers            int     `json:"workers,omitempty"`
+	ArrivalRPS         float64 `json:"arrival_rps,omitempty"`
+	Scenarios          int     `json:"scenarios"`
+	ScenariosCompleted int     `json:"scenarios_completed"`
+	ScenariosFailed    int     `json:"scenarios_failed"`
+	AdsPerCampaign     int     `json:"ads_per_campaign"`
+	AudienceSize       int     `json:"audience_size"`
+	WallSeconds        float64 `json:"wall_seconds"`
+	Requests           int64   `json:"requests"`
+	Errors             int64   `json:"errors"`
+	ThroughputRPS      float64 `json:"throughput_rps"`
+	// Operations maps operation name → client-side latency/error stats.
+	Operations map[string]OpReport `json:"operations"`
+	// ServerMetrics optionally embeds the target's GET /metrics snapshot at
+	// the end of the run, tying client-observed latencies to server-side
+	// counters in one artifact.
+	ServerMetrics *obs.Snapshot `json:"server_metrics,omitempty"`
+}
+
+// WriteJSON emits the indented report.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteFile writes the report to path.
+func (rep *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("loadgen: writing report: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadReport parses a report produced by WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("loadgen: unknown report schema %q", rep.Schema)
+	}
+	return &rep, nil
+}

@@ -12,6 +12,20 @@ import (
 	"time"
 )
 
+// Clock abstracts wall-clock reads and sleeps for the client's throttle, so
+// load generators and tests can run rate-limited clients against a fake
+// clock without real waits.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// realClock is the default Clock: the system clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
 // Client is the advertiser-side API client the audit tooling uses. Requests
 // are serialized and optionally rate-limited, mirroring the paper's polite
 // data-collection posture (§4.1: "collecting the delivery data from a single
@@ -21,6 +35,7 @@ type Client struct {
 	http    *http.Client
 
 	mu          sync.Mutex
+	clock       Clock
 	minInterval time.Duration
 	lastRequest time.Time
 }
@@ -35,6 +50,7 @@ func NewClient(baseURL string) (*Client, error) {
 	return &Client{
 		baseURL: strings.TrimRight(baseURL, "/"),
 		http:    &http.Client{Timeout: 10 * time.Minute},
+		clock:   realClock{},
 	}, nil
 }
 
@@ -58,16 +74,27 @@ func (c *Client) SetMinInterval(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// throttle serializes requests and enforces the minimum interval.
+// SetClock replaces the clock behind the throttle. A nil clock restores the
+// system clock.
+func (c *Client) SetClock(clock Clock) {
+	if clock == nil {
+		clock = realClock{}
+	}
+	c.mu.Lock()
+	c.clock = clock
+	c.mu.Unlock()
+}
+
+// throttle serializes throttled requests and enforces the minimum interval.
 func (c *Client) throttle() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.minInterval > 0 {
-		if wait := c.minInterval - time.Since(c.lastRequest); wait > 0 {
-			time.Sleep(wait)
+		if wait := c.minInterval - c.clock.Now().Sub(c.lastRequest); wait > 0 {
+			c.clock.Sleep(wait)
 		}
 	}
-	c.lastRequest = time.Now()
+	c.lastRequest = c.clock.Now()
 }
 
 func (c *Client) do(method, path string, in, out any) error {

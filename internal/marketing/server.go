@@ -6,18 +6,20 @@ import (
 	"net/http"
 	"sort"
 	"strings"
-	"sync"
 
+	"github.com/adaudit/impliedidentity/internal/obs"
 	"github.com/adaudit/impliedidentity/internal/platform"
 )
 
 // Server wraps a platform in the HTTP API. It is safe for concurrent use:
-// the underlying platform is single-threaded, so the server serializes
-// mutating calls with a mutex (as a real API would serialize per-account
-// writes).
+// the platform itself serializes mutating calls behind its account lock
+// (as a real API would serialize per-account writes) while read endpoints
+// proceed concurrently, so the server adds no locking of its own. Every
+// endpoint is instrumented into the server's metrics registry, exposed at
+// GET /metrics with a liveness probe at GET /healthz.
 type Server struct {
-	mu sync.Mutex
-	p  *platform.Platform
+	p   *platform.Platform
+	reg *obs.Registry
 }
 
 // NewServer wraps a platform.
@@ -25,19 +27,30 @@ func NewServer(p *platform.Platform) (*Server, error) {
 	if p == nil {
 		return nil, fmt.Errorf("marketing: nil platform")
 	}
-	return &Server{p: p}, nil
+	return &Server{p: p, reg: obs.NewRegistry()}, nil
 }
 
-// Handler returns the API routing table.
+// Metrics returns the server's metrics registry (the data behind
+// GET /metrics), for in-process consumers like shutdown logging.
+func (s *Server) Metrics() *obs.Registry {
+	return s.reg
+}
+
+// Handler returns the API routing table with per-endpoint instrumentation.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/customaudiences", s.handleCreateAudience)
-	mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
-	mux.HandleFunc("POST /v1/ads", s.handleCreateAd)
-	mux.HandleFunc("POST /v1/ads/{id}/appeal", s.handleAppeal)
-	mux.HandleFunc("GET /v1/ads/{id}", s.handleGetAd)
-	mux.HandleFunc("POST /v1/deliver", s.handleDeliver)
-	mux.HandleFunc("GET /v1/insights", s.handleInsights)
+	handle := func(pattern string, fn http.HandlerFunc) {
+		mux.Handle(pattern, obs.Instrument(s.reg, pattern, fn))
+	}
+	handle("POST /v1/customaudiences", s.handleCreateAudience)
+	handle("POST /v1/campaigns", s.handleCreateCampaign)
+	handle("POST /v1/ads", s.handleCreateAd)
+	handle("POST /v1/ads/{id}/appeal", s.handleAppeal)
+	handle("GET /v1/ads/{id}", s.handleGetAd)
+	handle("POST /v1/deliver", s.handleDeliver)
+	handle("GET /v1/insights", s.handleInsights)
+	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
+	mux.Handle("GET /healthz", obs.HealthzHandler(s.reg))
 	return mux
 }
 
@@ -69,9 +82,7 @@ func (s *Server) handleCreateAudience(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.Lock()
 	ca, err := s.p.CreateCustomAudience(req.Name, req.PIIHashes)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -94,9 +105,7 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
 	c, err := s.p.CreateCampaign(req.Name, obj, special, req.AccountAge)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -125,9 +134,7 @@ func (s *Server) handleCreateAd(w http.ResponseWriter, r *http.Request) {
 		Body:     req.Creative.Body,
 		LinkURL:  req.Creative.LinkURL,
 	}
-	s.mu.Lock()
 	ad, err := s.p.CreateAd(req.CampaignID, creative, targeting, req.DailyBudgetCents)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -137,9 +144,7 @@ func (s *Server) handleCreateAd(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAppeal(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
 	ad, err := s.p.AppealAd(id)
-	s.mu.Unlock()
 	if err != nil {
 		code := http.StatusBadRequest
 		if strings.Contains(err.Error(), "unknown ad") {
@@ -153,9 +158,7 @@ func (s *Server) handleAppeal(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetAd(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
 	ad, err := s.p.Ad(id)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -168,9 +171,7 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.Lock()
 	err := s.p.RunDay(req.AdIDs, req.Seed)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -199,9 +200,7 @@ func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	s.mu.Lock()
 	st, err := s.p.Insights(adID)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Metric names used by the HTTP middleware. Endpoint-scoped metrics append
+// "|" + route (e.g. "http.requests|POST /v1/ads") so the flat registry
+// namespace stays parseable.
+const (
+	MetricRequests = "http.requests"
+	MetricLatency  = "http.latency"
+	MetricInFlight = "http.in_flight"
+)
+
+// statusRecorder captures the response status for the status-class counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// statusClass buckets a status code as "2xx", "4xx", etc.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// Instrument wraps a handler with per-endpoint request accounting: total
+// requests, status-class counts, latency histogram, and the shared in-flight
+// gauge. route is the stable endpoint label (the mux pattern); it is passed
+// explicitly so the middleware works on any Go version and any router.
+func Instrument(reg *Registry, route string, next http.Handler) http.Handler {
+	requests := reg.Counter(MetricRequests + "|" + route)
+	latency := reg.Histogram(MetricLatency + "|" + route)
+	inFlight := reg.Gauge(MetricInFlight)
+	total := reg.Counter(MetricRequests)
+	classes := [4]*Counter{
+		reg.Counter(MetricRequests + ".2xx|" + route),
+		reg.Counter(MetricRequests + ".3xx|" + route),
+		reg.Counter(MetricRequests + ".4xx|" + route),
+		reg.Counter(MetricRequests + ".5xx|" + route),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Inc()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		inFlight.Dec()
+		requests.Inc()
+		total.Inc()
+		latency.Observe(time.Since(start))
+		switch statusClass(rec.status) {
+		case "2xx":
+			classes[0].Inc()
+		case "3xx":
+			classes[1].Inc()
+		case "4xx":
+			classes[2].Inc()
+		case "5xx":
+			classes[3].Inc()
+		}
+	})
+}
+
+// MetricsHandler serves the registry snapshot as JSON (the GET /metrics
+// endpoint).
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// HealthzHandler serves a liveness check with the registry's uptime.
+func HealthzHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(HealthResponse{
+			Status:        "ok",
+			UptimeSeconds: time.Since(reg.start).Seconds(),
+		})
+	})
+}

@@ -42,6 +42,8 @@ func (p *Platform) CreateCustomAudience(name string, piiHashes []string) (*Custo
 	if len(piiHashes) == 0 {
 		return nil, fmt.Errorf("platform: custom audience %q: empty upload", name)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	ca := &CustomAudience{
 		ID:   fmt.Sprintf("ca-%d", len(p.audiences)+1),
 		Name: name,
@@ -60,8 +62,16 @@ func (p *Platform) CreateCustomAudience(name string, piiHashes []string) (*Custo
 	return ca, nil
 }
 
-// Audience returns a registered audience by ID.
+// Audience returns a registered audience by ID. Audiences are immutable
+// after creation, so the shared pointer is safe to read without the lock.
 func (p *Platform) Audience(id string) (*CustomAudience, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.audienceLocked(id)
+}
+
+// audienceLocked looks up an audience; the caller holds p.mu.
+func (p *Platform) audienceLocked(id string) (*CustomAudience, error) {
 	ca, ok := p.audiences[id]
 	if !ok {
 		return nil, fmt.Errorf("platform: unknown custom audience %q", id)
@@ -70,11 +80,12 @@ func (p *Platform) Audience(id string) (*CustomAudience, error) {
 }
 
 // resolveAudience computes the final targeted user set for an ad: the union
-// of its Custom Audiences filtered by the attribute limits.
+// of its Custom Audiences filtered by the attribute limits. The caller
+// holds p.mu.
 func (p *Platform) resolveAudience(t *Targeting) ([]int, error) {
 	inUnion := map[int]bool{}
 	for _, id := range t.CustomAudienceIDs {
-		ca, err := p.Audience(id)
+		ca, err := p.audienceLocked(id)
 		if err != nil {
 			return nil, err
 		}

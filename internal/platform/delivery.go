@@ -42,8 +42,12 @@ type AdStats struct {
 }
 
 // Insights returns the delivery report for an ad. It fails for ads that
-// have not delivered yet.
+// have not delivered yet. The returned stats are frozen: a completed ad
+// cannot be delivered again, and RunDay holds the write lock for the whole
+// simulated day, so once Insights succeeds the object never mutates.
 func (p *Platform) Insights(adID string) (*AdStats, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	s, ok := p.stats[adID]
 	if !ok {
 		return nil, fmt.Errorf("platform: no delivery data for ad %q", adID)
@@ -58,9 +62,11 @@ func (p *Platform) Insights(adID string) (*AdStats, error) {
 // analysis depends on knowing which were rejected). After the run every
 // delivered ad is StatusCompleted and its insights are frozen.
 func (p *Platform) RunDay(adIDs []string, seed int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var active []*Ad
 	for _, id := range adIDs {
-		ad, err := p.Ad(id)
+		ad, err := p.adLocked(id)
 		if err != nil {
 			return err
 		}

@@ -24,7 +24,9 @@ func (p *Platform) CreateLookalikeAudience(name, seedID string, size int) (*Cust
 	if size <= 0 {
 		return nil, fmt.Errorf("platform: lookalike size must be positive, got %d", size)
 	}
-	seed, err := p.Audience(seedID)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seed, err := p.audienceLocked(seedID)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +106,9 @@ type AudienceComposition struct {
 
 // CompositionOf computes the oracle composition of an audience.
 func (p *Platform) CompositionOf(audienceID string) (AudienceComposition, error) {
-	ca, err := p.Audience(audienceID)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ca, err := p.audienceLocked(audienceID)
 	if err != nil {
 		return AudienceComposition{}, err
 	}

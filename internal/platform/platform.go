@@ -3,6 +3,7 @@ package platform
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/adaudit/impliedidentity/internal/face"
 	"github.com/adaudit/impliedidentity/internal/population"
@@ -77,8 +78,18 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// Platform is the simulated advertising platform.
+// Platform is the simulated advertising platform. It is safe for concurrent
+// use: exported methods take the account lock (writes exclusively, reads
+// shared), mirroring a real platform's per-account serialization of mutating
+// Marketing-API calls. Objects returned by read methods are either immutable
+// after creation (campaigns, audiences) or snapshot copies (ads), so callers
+// may use them without holding any lock.
 type Platform struct {
+	// mu guards every field below it as well as the mutable parts of the
+	// objects the maps point to (ad delivery state, the retraining buffer,
+	// the review RNG, and cfg.ReviewRejectProb).
+	mu sync.RWMutex
+
 	cfg    Config
 	pop    *population.Population
 	behave *population.Behavior
@@ -138,7 +149,9 @@ func (p *Platform) SetReviewRejectProb(prob float64) error {
 	if prob < 0 || prob > 1 {
 		return fmt.Errorf("platform: reject probability %v outside [0,1]", prob)
 	}
+	p.mu.Lock()
 	p.cfg.ReviewRejectProb = prob
+	p.mu.Unlock()
 	return nil
 }
 
@@ -147,6 +160,8 @@ func (p *Platform) CreateCampaign(name string, obj Objective, special SpecialAdC
 	if name == "" {
 		return nil, fmt.Errorf("platform: campaign needs a name")
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.nextID++
 	c := &Campaign{
 		ID:              fmt.Sprintf("cmp-%d", p.nextID),
@@ -159,8 +174,16 @@ func (p *Platform) CreateCampaign(name string, obj Objective, special SpecialAdC
 	return c, nil
 }
 
-// Campaign returns a campaign by ID.
+// Campaign returns a campaign by ID. Campaigns are immutable after
+// creation, so the shared pointer is safe to read without the lock.
 func (p *Platform) Campaign(id string) (*Campaign, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.campaignLocked(id)
+}
+
+// campaignLocked looks up a campaign; the caller holds p.mu.
+func (p *Platform) campaignLocked(id string) (*Campaign, error) {
 	c, ok := p.campaigns[id]
 	if !ok {
 		return nil, fmt.Errorf("platform: unknown campaign %q", id)
@@ -171,9 +194,12 @@ func (p *Platform) Campaign(id string) (*Campaign, error) {
 // CreateAd validates targeting against the campaign's special-category
 // restrictions, resolves the target audience, runs ad review, and registers
 // the ad. A rejected ad is returned (with StatusRejected) along with a nil
-// error: rejection is an outcome, not a failure of the call.
+// error: rejection is an outcome, not a failure of the call. The returned
+// ad is a snapshot: later delivery does not mutate it.
 func (p *Platform) CreateAd(campaignID string, creative Creative, targeting Targeting, dailyBudgetCents int) (*Ad, error) {
-	c, err := p.Campaign(campaignID)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, err := p.campaignLocked(campaignID)
 	if err != nil {
 		return nil, err
 	}
@@ -204,11 +230,23 @@ func (p *Platform) CreateAd(campaignID string, creative Creative, targeting Targ
 		ad.Status = StatusRejected
 	}
 	p.ads[ad.ID] = ad
-	return ad, nil
+	return ad.snapshot(), nil
 }
 
-// Ad returns an ad by ID.
+// Ad returns a snapshot of an ad by ID: a copy whose value fields (Status
+// in particular) will not change under a concurrent delivery run.
 func (p *Platform) Ad(id string) (*Ad, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ad, err := p.adLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	return ad.snapshot(), nil
+}
+
+// adLocked looks up the live ad object; the caller holds p.mu.
+func (p *Platform) adLocked(id string) (*Ad, error) {
 	ad, ok := p.ads[id]
 	if !ok {
 		return nil, fmt.Errorf("platform: unknown ad %q", id)
@@ -216,10 +254,22 @@ func (p *Platform) Ad(id string) (*Ad, error) {
 	return ad, nil
 }
 
+// snapshot copies the ad for return outside the platform lock. Slices
+// (audience, targeting) share backing arrays but are never mutated after
+// creation; value fields like Status and spend are decoupled from the
+// engine's live object.
+func (ad *Ad) snapshot() *Ad {
+	cp := *ad
+	return &cp
+}
+
 // AppealAd re-reviews a rejected ad (the Appendix A appeal path). Appeals
 // succeed with probability 1 - ReviewRejectProb, re-rolled independently.
+// The returned ad is a snapshot reflecting the post-appeal status.
 func (p *Platform) AppealAd(id string) (*Ad, error) {
-	ad, err := p.Ad(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ad, err := p.adLocked(id)
 	if err != nil {
 		return nil, err
 	}
@@ -229,5 +279,5 @@ func (p *Platform) AppealAd(id string) (*Ad, error) {
 	if p.reviewRNG.Float64() >= p.cfg.ReviewRejectProb {
 		ad.Status = StatusActive
 	}
-	return ad, nil
+	return ad.snapshot(), nil
 }

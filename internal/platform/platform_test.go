@@ -242,20 +242,24 @@ func TestAdReviewAndAppeal(t *testing.T) {
 	if ad.Status != StatusRejected {
 		t.Fatalf("status %v, want rejected under prob 1", ad.Status)
 	}
-	// Appeal under prob 1 keeps it rejected; under prob 0 it recovers.
-	if _, err := p.AppealAd(ad.ID); err != nil {
+	// Appeal under prob 1 keeps it rejected; under prob 0 it recovers. The
+	// returned ads are snapshots, so each appeal's outcome is read from its
+	// own return value.
+	denied, err := p.AppealAd(ad.ID)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if ad.Status != StatusRejected {
+	if denied.Status != StatusRejected {
 		t.Error("appeal under reject prob 1 should fail")
 	}
 	if err := p.SetReviewRejectProb(0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.AppealAd(ad.ID); err != nil {
+	granted, err := p.AppealAd(ad.ID)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if ad.Status != StatusActive {
+	if granted.Status != StatusActive {
 		t.Error("appeal under reject prob 0 should recover the ad")
 	}
 	// Appealing a non-rejected ad is an error.

@@ -31,7 +31,11 @@ func (p *Platform) recordServed(userIdx int, ad *Ad, clicked bool) {
 }
 
 // ServedLogSize reports the retraining buffer size.
-func (p *Platform) ServedLogSize() int { return len(p.served) }
+func (p *Platform) ServedLogSize() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.served)
+}
 
 // Retrain refits the estimated-action-rate model on a fresh background
 // engagement log plus every impression the platform itself has served since
@@ -40,6 +44,8 @@ func (p *Platform) ServedLogSize() int { return len(p.served) }
 // mechanism experiment E16 measures. Ads created after Retrain use the new
 // model; completed ads keep their recorded delivery.
 func (p *Platform) Retrain(cfg TrainingConfig) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if cfg.LogRows == 0 {
 		cfg.LogRows = p.cfg.Training.LogRows
 	}
