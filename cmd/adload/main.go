@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/faults"
 	"github.com/adaudit/impliedidentity/internal/loadgen"
 	"github.com/adaudit/impliedidentity/internal/marketing"
 	"github.com/adaudit/impliedidentity/internal/obs"
@@ -61,10 +62,29 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload seed (and world seed when self-hosting)")
 	duration := fs.Duration("duration", 0, "wall-clock cap on the run; 0 = run all scenarios")
 	throttle := fs.Duration("throttle", 0, "client-side minimum interval between requests; 0 disables")
+	retries := fs.Int("retries", 0, "client max attempts per API call (0 = library default)")
 	out := fs.String("out", "", "path to write the JSON report (BENCH_serving schema)")
 	voters := fs.Int("voters", 8000, "self-hosted world: voters in the registry")
 	logRows := fs.Int("logrows", 3000, "self-hosted world: engagement-log rows for eAR training")
+	faultRate := fs.Float64("fault-rate", 0, "self-hosted chaos: probability a request draws an injected fault (0 disables)")
+	faultSeed := fs.Int64("fault-seed", 1, "self-hosted chaos: fault-schedule seed (same seed, same schedule)")
+	faultKinds := fs.String("fault-kinds", "all", "self-hosted chaos: comma-separated fault kinds (latency,429,5xx,drop,slow) or all")
+	shedCap := fs.Int("shed-cap", marketing.DefaultServerLimits().MaxInFlight, "self-hosted server: max in-flight requests before shedding with 429 (0 disables)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *target != "" {
+		// Faults are injected into the self-hosted server's handler chain;
+		// against a remote server these flags would silently do nothing.
+		for _, f := range []string{"fault-rate", "fault-seed", "fault-kinds", "shed-cap"} {
+			if flagWasSet(fs, f) {
+				return fmt.Errorf("-%s applies to the self-hosted server and cannot be combined with -target", f)
+			}
+		}
+	}
+	kinds, err := faults.ParseKinds(*faultKinds)
+	if err != nil {
 		return err
 	}
 
@@ -72,7 +92,14 @@ func run(args []string, stdout io.Writer) error {
 	var hashes []string
 	if *target == "" {
 		fmt.Fprintf(stdout, "self-hosting a platform (%d voters, seed %d)...\n", *voters, *seed)
-		ts, pool, err := selfHost(*seed, *voters, *logRows)
+		if *faultRate > 0 {
+			fmt.Fprintf(stdout, "injecting faults: rate %.2f, seed %d, kinds %v\n", *faultRate, *faultSeed, kinds)
+		}
+		ts, pool, err := selfHost(*seed, *voters, *logRows, *shedCap, faults.Config{
+			Seed:  *faultSeed,
+			Rate:  *faultRate,
+			Kinds: kinds,
+		})
 		if err != nil {
 			return err
 		}
@@ -96,6 +123,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *throttle > 0 {
 		client.SetMinInterval(*throttle)
+	}
+	if *retries > 0 {
+		pol := marketing.DefaultRetryPolicy()
+		pol.MaxAttempts = *retries
+		client.SetRetryPolicy(pol)
 	}
 	runner, err := loadgen.New(loadgen.Config{
 		Seed:           *seed,
@@ -130,6 +162,8 @@ func run(args []string, stdout io.Writer) error {
 
 	if snap, err := fetchMetrics(baseURL); err == nil {
 		rep.ServerMetrics = snap
+		rep.RequestsShed = snap.Counters[obs.MetricRequestsShed]
+		rep.FaultsInjected = snap.Counters[faults.MetricInjected]
 	} else {
 		fmt.Fprintf(stdout, "warning: could not scrape %s/metrics: %v\n", baseURL, err)
 	}
@@ -147,9 +181,21 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// flagWasSet reports whether the user passed the named flag explicitly.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 // selfHost builds the synthetic world and serves the marketing API from an
-// in-process listener, returning the server and the audience hash pool.
-func selfHost(seed int64, numVoters, logRows int) (*httptest.Server, []string, error) {
+// in-process listener (wrapped in the fault injector when faultCfg.Rate > 0),
+// returning the server and the audience hash pool.
+func selfHost(seed int64, numVoters, logRows, shedCap int, faultCfg faults.Config) (*httptest.Server, []string, error) {
 	flCfg := voter.DefaultGeneratorConfig(demo.StateFL, seed+1)
 	flCfg.NumVoters = numVoters
 	fl, err := voter.Generate(flCfg)
@@ -174,11 +220,23 @@ func selfHost(seed int64, numVoters, logRows int) (*httptest.Server, []string, e
 	if err != nil {
 		return nil, nil, err
 	}
-	srv, err := marketing.NewServer(plat)
+	limits := marketing.DefaultServerLimits()
+	limits.MaxInFlight = shedCap
+	srv, err := marketing.NewServer(plat, marketing.WithLimits(limits))
 	if err != nil {
 		return nil, nil, err
 	}
-	return httptest.NewServer(srv.Handler()), hashesFromRecords(fl.Records), nil
+	handler := srv.Handler()
+	if faultCfg.Rate > 0 {
+		// Register fault counters in the server's own registry so the
+		// end-of-run /metrics scrape reports them next to the serving stats.
+		inj, err := faults.New(faultCfg, srv.Metrics())
+		if err != nil {
+			return nil, nil, err
+		}
+		handler = inj.Middleware(handler)
+	}
+	return httptest.NewServer(handler), hashesFromRecords(fl.Records), nil
 }
 
 // hashesFromExtract derives the audience hash pool from an FL-layout voter
@@ -244,7 +302,13 @@ func summarize(rep *loadgen.Report) string {
 			MaxMs:    o.Latency.MaxMs,
 		})
 	}
-	out := report.ServingSummary(title, rows, rep.WallSeconds, rep.ThroughputRPS, rep.Errors)
+	out := report.ServingSummary(title, rows, rep.WallSeconds, rep.ThroughputRPS, rep.Errors,
+		report.ServingResilience{
+			Retries:        rep.Retries,
+			BreakerRejects: rep.BreakerRejects,
+			RequestsShed:   rep.RequestsShed,
+			FaultsInjected: rep.FaultsInjected,
+		})
 	if rep.ServerMetrics != nil {
 		out += fmt.Sprintf("server: %d requests counted, %d in flight at scrape\n",
 			rep.ServerMetrics.Counters[obs.MetricRequests],

@@ -76,6 +76,61 @@ func TestSelfHostedSmokeRun(t *testing.T) {
 	}
 }
 
+// TestChaosSmokeRun mirrors the CI chaos job: a fault-injected self-hosted
+// run with a fixed schedule seed must complete with zero surfaced errors —
+// the retry layer absorbs every injected fault — and report the injection
+// and retry counts.
+func TestChaosSmokeRun(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "chaos.json")
+	var buf strings.Builder
+	err := run([]string{
+		"-scenarios", "4", "-concurrency", "2", "-ads", "1", "-audience", "100",
+		"-seed", "7", "-voters", "4000", "-logrows", "1500",
+		"-fault-rate", "0.2", "-fault-seed", "42", "-fault-kinds", "all",
+		"-retries", "8", "-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("chaos run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "injecting faults") {
+		t.Errorf("stdout should announce fault injection:\n%s", buf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := loadgen.ReadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.ScenariosFailed != 0 {
+		t.Fatalf("chaos run surfaced %d errors, %d failed scenarios", rep.Errors, rep.ScenariosFailed)
+	}
+	if rep.FaultsInjected == 0 {
+		t.Error("report shows no injected faults; the chaos flags did nothing")
+	}
+	if !strings.Contains(buf.String(), "resilience") {
+		t.Errorf("summary should include the resilience line:\n%s", buf.String())
+	}
+}
+
+func TestFaultFlagsRequireSelfHost(t *testing.T) {
+	for _, args := range [][]string{
+		{"-target", "http://127.0.0.1:1", "-voterfile", "x", "-fault-rate", "0.2"},
+		{"-target", "http://127.0.0.1:1", "-voterfile", "x", "-fault-seed", "9"},
+		{"-target", "http://127.0.0.1:1", "-voterfile", "x", "-fault-kinds", "drop"},
+		{"-target", "http://127.0.0.1:1", "-voterfile", "x", "-shed-cap", "10"},
+	} {
+		var buf strings.Builder
+		err := run(args, &buf)
+		if err == nil || !strings.Contains(err.Error(), "-target") {
+			t.Errorf("args %v: want self-host conflict error, got %v", args, err)
+		}
+	}
+}
+
 func TestExternalTargetRequiresVoterFile(t *testing.T) {
 	var buf strings.Builder
 	err := run([]string{"-target", "http://127.0.0.1:1"}, &buf)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/faults"
 	"github.com/adaudit/impliedidentity/internal/marketing"
 	"github.com/adaudit/impliedidentity/internal/platform"
 	"github.com/adaudit/impliedidentity/internal/population"
@@ -47,7 +48,15 @@ func run(args []string) error {
 	voters := fs.Int("voters", 40000, "voters per state")
 	logRows := fs.Int("logrows", 30000, "engagement-log rows for eAR training")
 	voterDir := fs.String("voterdir", "", "directory to write FL/NC voter extracts into (optional)")
+	faultRate := fs.Float64("fault-rate", 0, "chaos: probability a request draws an injected fault (0 disables)")
+	faultSeed := fs.Int64("fault-seed", 1, "chaos: fault-schedule seed (same seed, same schedule)")
+	faultKinds := fs.String("fault-kinds", "all", "chaos: comma-separated fault kinds (latency,429,5xx,drop,slow) or all")
+	shedCap := fs.Int("shed-cap", marketing.DefaultServerLimits().MaxInFlight, "max in-flight requests before shedding with 429 (0 disables)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kinds, err := faults.ParseKinds(*faultKinds)
+	if err != nil {
 		return err
 	}
 
@@ -85,9 +94,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := marketing.NewServer(plat)
+	limits := marketing.DefaultServerLimits()
+	limits.MaxInFlight = *shedCap
+	srv, err := marketing.NewServer(plat, marketing.WithLimits(limits))
 	if err != nil {
 		return err
+	}
+	handler := srv.Handler()
+	if *faultRate > 0 {
+		inj, err := faults.New(faults.Config{Seed: *faultSeed, Rate: *faultRate, Kinds: kinds}, srv.Metrics())
+		if err != nil {
+			return err
+		}
+		handler = inj.Middleware(handler)
+		fmt.Printf("fault injection armed: rate %.2f, seed %d, kinds %v\n", *faultRate, *faultSeed, kinds)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -96,7 +116,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("marketing API listening at http://%s (%d users); metrics at /metrics, liveness at /healthz\n",
 		ln.Addr(), len(pop.Users))
-	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 
 	// Serve until the listener fails or a shutdown signal arrives, then
 	// drain in-flight requests and log the final serving counters so a

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,6 +40,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	// --- the platform side: world + server (in production this is the
 	// standalone `adplatform` binary) ---
 	fmt.Println("Platform side: generating registries and training the delivery model...")
@@ -122,19 +124,19 @@ func run() error {
 		}
 		return out
 	}
-	primary, err := client.CreateAudience("FLwhite+NCblack",
+	primary, err := client.CreateAudience(ctx, "FLwhite+NCblack",
 		append(hashes(flSample, demo.RaceWhite), hashes(ncSample, demo.RaceBlack)...))
 	if err != nil {
 		return err
 	}
-	reversed, err := client.CreateAudience("FLblack+NCwhite",
+	reversed, err := client.CreateAudience(ctx, "FLblack+NCwhite",
 		append(hashes(flSample, demo.RaceBlack), hashes(ncSample, demo.RaceWhite)...))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Uploaded split audiences: %d and %d matched accounts\n", primary.MatchedSize, reversed.MatchedSize)
 
-	cmp, err := client.CreateCampaign(marketing.CreateCampaignRequest{Name: "external audit", Objective: "TRAFFIC"})
+	cmp, err := client.CreateCampaign(ctx, marketing.CreateCampaignRequest{Name: "external audit", Objective: "TRAFFIC"})
 	if err != nil {
 		return err
 	}
@@ -156,7 +158,7 @@ func run() error {
 			id         string
 			blackState string
 		}{{primary.ID, "NC"}, {reversed.ID, "FL"}} {
-			ad, err := client.CreateAd(marketing.CreateAdRequest{
+			ad, err := client.CreateAd(ctx, marketing.CreateAdRequest{
 				CampaignID: cmp.ID,
 				Creative: marketing.WireCreative{
 					Image:    marketing.WireImageFrom(spec.img),
@@ -174,14 +176,14 @@ func run() error {
 		}
 	}
 	fmt.Println("Launching all copies simultaneously for one simulated day...")
-	if err := client.Deliver(adIDs, 16); err != nil {
+	if err := client.Deliver(ctx, adIDs, 16); err != nil {
 		return err
 	}
 
 	for _, key := range []string{"white-image", "black-image"} {
 		var black, countable, total int
 		for _, ref := range copies[key] {
-			ins, err := client.Insights(ref.id)
+			ins, err := client.Insights(ctx, ref.id)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -69,12 +70,12 @@ func (l *Lab) BuildSplitAudiences(name string, flSample, ncSample []voter.Record
 			len(flWhite), len(flBlack), len(ncWhite), len(ncBlack))
 	}
 
-	primary, err := l.Client.CreateAudience(name+"/FLwhite+NCblack",
+	primary, err := l.Client.CreateAudience(context.Background(), name+"/FLwhite+NCblack",
 		append(hashRecords(flWhite), hashRecords(ncBlack)...))
 	if err != nil {
 		return SplitAudiences{}, fmt.Errorf("core: uploading primary audience: %w", err)
 	}
-	reversed, err := l.Client.CreateAudience(name+"/FLblack+NCwhite",
+	reversed, err := l.Client.CreateAudience(context.Background(), name+"/FLblack+NCwhite",
 		append(hashRecords(flBlack), hashRecords(ncWhite)...))
 	if err != nil {
 		return SplitAudiences{}, fmt.Errorf("core: uploading reversed audience: %w", err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/adaudit/impliedidentity/internal/demo"
@@ -132,7 +133,7 @@ func (l *Lab) RunPairedCampaign(cfg CampaignConfig, specs []AdSpec, auds SplitAu
 		return nil, fmt.Errorf("core: campaign %q has no ads", cfg.Name)
 	}
 	cfg.setDefaults()
-	cmp, err := l.Client.CreateCampaign(marketing.CreateCampaignRequest{
+	cmp, err := l.Client.CreateCampaign(context.Background(), marketing.CreateCampaignRequest{
 		Name:              cfg.Name,
 		Objective:         cfg.Objective,
 		SpecialAdCategory: cfg.Special,
@@ -154,7 +155,7 @@ func (l *Lab) RunPairedCampaign(cfg CampaignConfig, specs []AdSpec, auds SplitAu
 			{auds.PrimaryID, &run.Ads[i].PrimaryID, &run.Ads[i].PrimaryStatus},
 			{auds.ReversedID, &run.Ads[i].ReversedID, &run.Ads[i].ReversedStatus},
 		} {
-			ad, err := l.Client.CreateAd(marketing.CreateAdRequest{
+			ad, err := l.Client.CreateAd(context.Background(), marketing.CreateAdRequest{
 				CampaignID: cmp.ID,
 				Creative: marketing.WireCreative{
 					Image:    marketing.WireImageFrom(spec.Image),
@@ -181,19 +182,19 @@ func (l *Lab) RunPairedCampaign(cfg CampaignConfig, specs []AdSpec, auds SplitAu
 	if len(activeIDs) == 0 {
 		return nil, fmt.Errorf("core: campaign %q: every ad was rejected", cfg.Name)
 	}
-	if err := l.Client.Deliver(activeIDs, cfg.Seed); err != nil {
+	if err := l.Client.Deliver(context.Background(), activeIDs, cfg.Seed); err != nil {
 		return nil, fmt.Errorf("core: delivering campaign %q: %w", cfg.Name, err)
 	}
 	for i := range run.Ads {
 		ar := &run.Ads[i]
 		if ar.PrimaryStatus == "ACTIVE" {
-			if ar.Primary, err = l.Client.Insights(ar.PrimaryID); err != nil {
+			if ar.Primary, err = l.Client.Insights(context.Background(), ar.PrimaryID); err != nil {
 				return nil, err
 			}
 			ar.PrimaryStatus = "COMPLETED"
 		}
 		if ar.ReversedStatus == "ACTIVE" {
-			if ar.Reversed, err = l.Client.Insights(ar.ReversedID); err != nil {
+			if ar.Reversed, err = l.Client.Insights(context.Background(), ar.ReversedID); err != nil {
 				return nil, err
 			}
 			ar.ReversedStatus = "COMPLETED"

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"math/rand"
@@ -187,7 +188,7 @@ func (l *Lab) RunLookalikeExperiment(seedCount, expandCount int, seed int64) (*L
 	}
 	take(l.FL.Records)
 	take(l.NC.Records)
-	seedResp, err := l.Client.CreateAudience("lookalike-seed", hashes)
+	seedResp, err := l.Client.CreateAudience(context.Background(), "lookalike-seed", hashes)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +215,7 @@ func (l *Lab) RunLookalikeExperiment(seedCount, expandCount int, seed int64) (*L
 		r := &all[j]
 		baseHashes = append(baseHashes, population.HashPII(r.FirstName, r.LastName, r.Address, r.ZIP))
 	}
-	baseResp, err := l.Client.CreateAudience("lookalike-baseline", baseHashes)
+	baseResp, err := l.Client.CreateAudience(context.Background(), "lookalike-baseline", baseHashes)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,347 @@
+// Package faults is a deterministic fault injector for the serving stack.
+// It wraps an http.Handler and disturbs a seeded fraction of requests with
+// the failure modes a long-running audit collection loop meets in the wild:
+// injected latency, 429/5xx rejections (with Retry-After), connections
+// dropped mid-response, and slow-dripped bodies.
+//
+// Determinism is the point: every arriving request consumes the next slot of
+// a fault schedule that is a pure function of (seed, slot index), so two
+// chaos runs with the same seed draw the identical schedule. Under
+// concurrency the mapping of requests to slots follows arrival order, but
+// the schedule itself — which slots fault, and how — is exactly
+// reproducible, which is what makes a chaos soak a regression test instead
+// of a dice roll.
+//
+// The injector deliberately distinguishes pre-handler faults (latency, 429,
+// 5xx: the request never reaches the application) from post-handler faults
+// (drop, slow: the application state HAS changed and only the response is
+// damaged). The post-handler drop is the adversarial case for clients: a
+// retried POST whose first attempt was dropped after execution double-creates
+// unless the server deduplicates by idempotency key.
+package faults
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/adaudit/impliedidentity/internal/obs"
+)
+
+// Kind names one injectable failure mode.
+type Kind string
+
+// The failure modes.
+const (
+	// KindLatency delays the request before the handler runs.
+	KindLatency Kind = "latency"
+	// KindReject429 rejects the request with 429 and a Retry-After header
+	// before the handler runs (rate limiting / load shedding by the remote).
+	KindReject429 Kind = "429"
+	// KindReject5xx rejects the request with 500, 502, or 503 before the
+	// handler runs (platform-side failure).
+	KindReject5xx Kind = "5xx"
+	// KindDrop runs the handler, then truncates the response mid-body and
+	// aborts the connection: the side effect happened, the client cannot
+	// know. This is the fault that flushes out missing idempotency keys.
+	KindDrop Kind = "drop"
+	// KindSlow runs the handler, then drips the response out in small
+	// delayed chunks. The request succeeds — eventually.
+	KindSlow Kind = "slow"
+)
+
+// AllKinds lists every failure mode in schedule order.
+func AllKinds() []Kind {
+	return []Kind{KindLatency, KindReject429, KindReject5xx, KindDrop, KindSlow}
+}
+
+// ParseKinds parses a comma-separated kind list ("latency,drop"). The empty
+// string and "all" select every kind.
+func ParseKinds(s string) ([]Kind, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return AllKinds(), nil
+	}
+	known := map[Kind]bool{}
+	for _, k := range AllKinds() {
+		known[k] = true
+	}
+	var kinds []Kind
+	for _, part := range strings.Split(s, ",") {
+		k := Kind(strings.TrimSpace(part))
+		if !known[k] {
+			return nil, fmt.Errorf("faults: unknown fault kind %q (known: latency, 429, 5xx, drop, slow)", part)
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+// Config parameterizes an injector.
+type Config struct {
+	// Seed drives the fault schedule. Same seed, same schedule.
+	Seed int64
+	// Rate is the per-request fault probability in [0,1]. Zero disables
+	// injection entirely.
+	Rate float64
+	// Kinds are the eligible failure modes; empty means all of them.
+	Kinds []Kind
+	// MaxLatency bounds injected latency (default 3ms — enough to reorder
+	// concurrent requests without slowing a soak to a crawl).
+	MaxLatency time.Duration
+	// RetryAfter is the value of the Retry-After header on injected 429s,
+	// in whole seconds (the header's unit). Zero sends "Retry-After: 0",
+	// which well-behaved clients treat as "retry at your own backoff".
+	RetryAfter time.Duration
+	// DripChunks and DripDelay shape slow responses: the body goes out in
+	// DripChunks pieces with DripDelay between them (defaults 4 × 1ms).
+	DripChunks int
+	DripDelay  time.Duration
+	// ExemptPaths lists path prefixes never faulted. Defaults to the
+	// operational endpoints ("/metrics", "/healthz") so chaos does not
+	// blind the observer.
+	ExemptPaths []string
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if len(c.Kinds) == 0 {
+		c.Kinds = AllKinds()
+	}
+	if c.MaxLatency <= 0 {
+		c.MaxLatency = 3 * time.Millisecond
+	}
+	if c.DripChunks <= 0 {
+		c.DripChunks = 4
+	}
+	if c.DripDelay <= 0 {
+		c.DripDelay = time.Millisecond
+	}
+	if c.ExemptPaths == nil {
+		c.ExemptPaths = []string{"/metrics", "/healthz"}
+	}
+	return c
+}
+
+// Metric names recorded by the injector.
+const (
+	// MetricInjected counts injected faults; per-kind counts append
+	// "|" + kind.
+	MetricInjected = "faults.injected"
+)
+
+// Decision is one slot of the fault schedule: what (if anything) happens to
+// the request that draws it.
+type Decision struct {
+	// Kind is the injected failure mode; empty means the request passes
+	// clean.
+	Kind Kind
+	// Status is the injected status code for rejection kinds (429, 500,
+	// 502, 503).
+	Status int
+	// Latency is the injected delay for KindLatency.
+	Latency time.Duration
+}
+
+// Injector hands out fault decisions and wraps handlers.
+type Injector struct {
+	cfg Config
+	reg *obs.Registry
+	seq atomic.Uint64
+}
+
+// New builds an injector. Registry may be nil; counters then go to a private
+// registry (Metrics exposes whichever is in use).
+func New(cfg Config, reg *obs.Registry) (*Injector, error) {
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		return nil, fmt.Errorf("faults: rate %v outside [0,1]", cfg.Rate)
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Injector{cfg: cfg.withDefaults(), reg: reg}, nil
+}
+
+// Metrics returns the registry the injector counts into.
+func (inj *Injector) Metrics() *obs.Registry { return inj.reg }
+
+// splitmix64 is the SplitMix64 finalizer: a statistically strong 64-bit
+// mixer, used here to turn (seed, slot) into schedule bits with no state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ScheduleAt returns slot i of the fault schedule: a pure function of the
+// injector's seed and configuration, independent of any requests already
+// served. Reproducibility tests and replay tooling read the schedule
+// directly through this method.
+func (inj *Injector) ScheduleAt(i uint64) Decision {
+	bits := splitmix64(uint64(inj.cfg.Seed) ^ splitmix64(i))
+	// Top 53 bits → uniform float in [0,1) for the fault coin.
+	coin := float64(bits>>11) / (1 << 53)
+	if coin >= inj.cfg.Rate {
+		return Decision{}
+	}
+	// Independent bits for the kind and the kind-specific parameters.
+	sub := splitmix64(bits)
+	kind := inj.cfg.Kinds[int(sub%uint64(len(inj.cfg.Kinds)))]
+	d := Decision{Kind: kind}
+	switch kind {
+	case KindReject429:
+		d.Status = http.StatusTooManyRequests
+	case KindReject5xx:
+		statuses := []int{http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable}
+		d.Status = statuses[int((sub>>8)%uint64(len(statuses)))]
+	case KindLatency:
+		frac := float64((sub>>8)&0xffff) / 0xffff
+		d.Latency = time.Duration(frac * float64(inj.cfg.MaxLatency))
+	}
+	return d
+}
+
+// next consumes the next schedule slot.
+func (inj *Injector) next() Decision {
+	return inj.ScheduleAt(inj.seq.Add(1) - 1)
+}
+
+// exempt reports whether a path is never faulted.
+func (inj *Injector) exempt(path string) bool {
+	for _, p := range inj.cfg.ExemptPaths {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Middleware wraps next with fault injection. Rejection faults answer with
+// the marketing API's JSON error envelope so clients exercise their normal
+// error decoding.
+func (inj *Injector) Middleware(next http.Handler) http.Handler {
+	if inj.cfg.Rate == 0 {
+		return next
+	}
+	injected := inj.reg.Counter(MetricInjected)
+	perKind := map[Kind]*obs.Counter{}
+	for _, k := range AllKinds() {
+		perKind[k] = inj.reg.Counter(MetricInjected + "|" + string(k))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if inj.exempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		d := inj.next()
+		if d.Kind == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		injected.Inc()
+		perKind[d.Kind].Inc()
+		switch d.Kind {
+		case KindLatency:
+			time.Sleep(d.Latency)
+			next.ServeHTTP(w, r)
+		case KindReject429:
+			w.Header().Set("Retry-After", strconv.Itoa(int(inj.cfg.RetryAfter/time.Second)))
+			writeInjectedError(w, d.Status)
+		case KindReject5xx:
+			writeInjectedError(w, d.Status)
+		case KindDrop:
+			inj.drop(w, r, next)
+		case KindSlow:
+			inj.drip(w, r, next)
+		}
+	})
+}
+
+// writeInjectedError emits the API error envelope for an injected rejection.
+func writeInjectedError(w http.ResponseWriter, status int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":"faults: injected %d"}`, status)
+}
+
+// drop executes the handler fully (its side effects are real), then writes
+// only half the response and aborts the connection. The declared
+// Content-Length covers the full body, so the client observes a truncated
+// read, not a short-but-valid response.
+func (inj *Injector) drop(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	rec := newBufferedResponse()
+	next.ServeHTTP(rec, r)
+	copyHeader(w.Header(), rec.header)
+	w.Header().Set("Content-Length", strconv.Itoa(len(rec.body)))
+	w.WriteHeader(rec.status)
+	if n := len(rec.body) / 2; n > 0 {
+		_, _ = w.Write(rec.body[:n])
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// drip executes the handler, then releases the buffered body in delayed
+// chunks. The response completes; it is just slow.
+func (inj *Injector) drip(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	rec := newBufferedResponse()
+	next.ServeHTTP(rec, r)
+	copyHeader(w.Header(), rec.header)
+	w.WriteHeader(rec.status)
+	body := rec.body
+	chunk := (len(body) + inj.cfg.DripChunks - 1) / inj.cfg.DripChunks
+	if chunk == 0 {
+		chunk = 1
+	}
+	for len(body) > 0 {
+		n := chunk
+		if n > len(body) {
+			n = len(body)
+		}
+		if _, err := w.Write(body[:n]); err != nil {
+			return
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		body = body[n:]
+		if len(body) > 0 {
+			time.Sleep(inj.cfg.DripDelay)
+		}
+	}
+}
+
+// bufferedResponse captures a downstream handler's full response so the
+// injector can damage or pace its delivery.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func newBufferedResponse() *bufferedResponse {
+	return &bufferedResponse{header: http.Header{}, status: http.StatusOK}
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) { b.status = code }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -135,7 +135,9 @@ func New(cfg Config, client *marketing.Client) (*Runner, error) {
 	if len(cfg.Hashes) == 0 {
 		return nil, fmt.Errorf("loadgen: empty PII hash pool")
 	}
-	return &Runner{cfg: cfg, client: client, reg: obs.NewRegistry()}, nil
+	r := &Runner{cfg: cfg, client: client, reg: obs.NewRegistry()}
+	client.SetMetrics(r.reg)
+	return r, nil
 }
 
 // Metrics exposes the client-side registry (per-operation latency
@@ -180,7 +182,7 @@ func (r *Runner) scenario(ctx context.Context, idx int) error {
 
 	var caResp *marketing.CreateAudienceResponse
 	if err := r.observe(OpCreateAudience, func() (err error) {
-		caResp, err = r.client.CreateAudience(fmt.Sprintf("loadgen-aud-%d", idx), hashes)
+		caResp, err = r.client.CreateAudience(ctx, fmt.Sprintf("loadgen-aud-%d", idx), hashes)
 		return err
 	}); err != nil {
 		return err
@@ -191,7 +193,7 @@ func (r *Runner) scenario(ctx context.Context, idx int) error {
 
 	var cmpResp *marketing.CreateCampaignResponse
 	if err := r.observe(OpCreateCampaign, func() (err error) {
-		cmpResp, err = r.client.CreateCampaign(marketing.CreateCampaignRequest{
+		cmpResp, err = r.client.CreateCampaign(ctx, marketing.CreateCampaignRequest{
 			Name:      fmt.Sprintf("loadgen-cmp-%d", idx),
 			Objective: "TRAFFIC",
 		})
@@ -209,7 +211,7 @@ func (r *Runner) scenario(ctx context.Context, idx int) error {
 		budget := 100 + rng.Intn(200)
 		var adResp *marketing.AdResponse
 		if err := r.observe(OpCreateAd, func() (err error) {
-			adResp, err = r.client.CreateAd(marketing.CreateAdRequest{
+			adResp, err = r.client.CreateAd(ctx, marketing.CreateAdRequest{
 				CampaignID: cmpResp.ID,
 				Creative: marketing.WireCreative{
 					Image:    marketing.WireImageFrom(img),
@@ -238,7 +240,7 @@ func (r *Runner) scenario(ctx context.Context, idx int) error {
 
 	deliverSeed := rng.Int63()
 	if err := r.observe(OpDeliver, func() error {
-		return r.client.Deliver(adIDs, deliverSeed)
+		return r.client.Deliver(ctx, adIDs, deliverSeed)
 	}); err != nil {
 		return err
 	}
@@ -250,10 +252,10 @@ func (r *Runner) scenario(ctx context.Context, idx int) error {
 			}
 			if err := r.observe(OpInsights, func() error {
 				if p%2 == 1 {
-					_, err := r.client.InsightsBreakdown(id, "gender")
+					_, err := r.client.InsightsBreakdown(ctx, id, "gender")
 					return err
 				}
-				_, err := r.client.Insights(id)
+				_, err := r.client.Insights(ctx, id)
 				return err
 			}); err != nil {
 				return err
@@ -356,6 +358,10 @@ func (r *Runner) report(wall time.Duration) *Report {
 	} else {
 		rep.ArrivalRPS = r.cfg.ArrivalRPS
 	}
+	// The client shares this registry (New wires it), so its resilience
+	// counters land in the same snapshot as the per-op histograms.
+	rep.Retries = snap.Counters[marketing.MetricClientRetries]
+	rep.BreakerRejects = snap.Counters[marketing.MetricClientBreakerRejects]
 	for _, op := range Ops {
 		requests := snap.Counters["op.requests|"+op]
 		if requests == 0 {

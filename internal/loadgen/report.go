@@ -39,6 +39,16 @@ type Report struct {
 	Requests           int64   `json:"requests"`
 	Errors             int64   `json:"errors"`
 	ThroughputRPS      float64 `json:"throughput_rps"`
+	// Retries counts client-side retry attempts beyond each call's first
+	// try; BreakerRejects counts calls refused outright by the client's
+	// open circuit breaker.
+	Retries        int64 `json:"retries,omitempty"`
+	BreakerRejects int64 `json:"breaker_rejects,omitempty"`
+	// RequestsShed and FaultsInjected are scraped from the target's
+	// GET /metrics at the end of the run (zero when scraping failed or the
+	// server runs without faults/shedding).
+	RequestsShed   int64 `json:"requests_shed,omitempty"`
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
 	// Operations maps operation name → client-side latency/error stats.
 	Operations map[string]OpReport `json:"operations"`
 	// ServerMetrics optionally embeds the target's GET /metrics snapshot at

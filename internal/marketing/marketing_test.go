@@ -1,6 +1,7 @@
 package marketing
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -70,7 +71,7 @@ func (e *env) uploadAudience(t *testing.T, n int) string {
 		r := &e.fl.Records[i]
 		hashes = append(hashes, population.HashPII(r.FirstName, r.LastName, r.Address, r.ZIP))
 	}
-	resp, err := e.client.CreateAudience("api-test", hashes)
+	resp, err := e.client.CreateAudience(context.Background(), "api-test", hashes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,12 +97,12 @@ func TestEndToEndCampaignFlow(t *testing.T) {
 	e := testEnv(t)
 	caID := e.uploadAudience(t, 3000)
 
-	cmp, err := e.client.CreateCampaign(CreateCampaignRequest{Name: "flow", Objective: "TRAFFIC"})
+	cmp, err := e.client.CreateCampaign(context.Background(), CreateCampaignRequest{Name: "flow", Objective: "TRAFFIC"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	img := image.FromProfile(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceBlack, Age: demo.ImpliedAdult})
-	ad, err := e.client.CreateAd(CreateAdRequest{
+	ad, err := e.client.CreateAd(context.Background(), CreateAdRequest{
 		CampaignID: cmp.ID,
 		Creative: WireCreative{
 			Image:    WireImageFrom(img),
@@ -117,14 +118,14 @@ func TestEndToEndCampaignFlow(t *testing.T) {
 	if ad.Status != "ACTIVE" {
 		t.Fatalf("ad status %q", ad.Status)
 	}
-	got, err := e.client.GetAd(ad.ID)
+	got, err := e.client.GetAd(context.Background(), ad.ID)
 	if err != nil || got.ID != ad.ID {
 		t.Fatalf("GetAd: %+v, %v", got, err)
 	}
-	if err := e.client.Deliver([]string{ad.ID}, 42); err != nil {
+	if err := e.client.Deliver(context.Background(), []string{ad.ID}, 42); err != nil {
 		t.Fatal(err)
 	}
-	ins, err := e.client.Insights(ad.ID)
+	ins, err := e.client.Insights(context.Background(), ad.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,35 +159,35 @@ func TestEndToEndCampaignFlow(t *testing.T) {
 
 func TestAPIErrors(t *testing.T) {
 	e := testEnv(t)
-	if _, err := e.client.CreateCampaign(CreateCampaignRequest{Name: "x", Objective: "REACH"}); err == nil {
+	if _, err := e.client.CreateCampaign(context.Background(), CreateCampaignRequest{Name: "x", Objective: "REACH"}); err == nil {
 		t.Error("bad objective: want error")
 	} else if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != 400 {
 		t.Errorf("want APIError 400, got %v", err)
 	}
-	if _, err := e.client.Insights("ad-404"); err == nil {
+	if _, err := e.client.Insights(context.Background(), "ad-404"); err == nil {
 		t.Error("unknown ad insights: want error")
 	} else if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != 404 {
 		t.Errorf("want APIError 404, got %v", err)
 	}
-	if _, err := e.client.GetAd("ad-404"); err == nil {
+	if _, err := e.client.GetAd(context.Background(), "ad-404"); err == nil {
 		t.Error("unknown ad: want error")
 	}
-	if _, err := e.client.AppealAd("ad-404"); err == nil {
+	if _, err := e.client.AppealAd(context.Background(), "ad-404"); err == nil {
 		t.Error("appeal unknown ad: want error")
 	}
-	if _, err := e.client.CreateAudience("", nil); err == nil {
+	if _, err := e.client.CreateAudience(context.Background(), "", nil); err == nil {
 		t.Error("empty audience: want error")
 	}
-	if err := e.client.Deliver(nil, 1); err == nil {
+	if err := e.client.Deliver(context.Background(), nil, 1); err == nil {
 		t.Error("deliver nothing: want error")
 	}
 	// Special-category restriction surfaces through the API.
-	cmp, err := e.client.CreateCampaign(CreateCampaignRequest{Name: "emp", Objective: "TRAFFIC", SpecialAdCategory: "EMPLOYMENT"})
+	cmp, err := e.client.CreateCampaign(context.Background(), CreateCampaignRequest{Name: "emp", Objective: "TRAFFIC", SpecialAdCategory: "EMPLOYMENT"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	caID := e.uploadAudience(t, 500)
-	_, err = e.client.CreateAd(CreateAdRequest{
+	_, err = e.client.CreateAd(context.Background(), CreateAdRequest{
 		CampaignID:       cmp.ID,
 		Creative:         WireCreative{Image: WireImageFrom(image.Features{HasPerson: true, AgeYears: 30})},
 		Targeting:        WireTargeting{CustomAudienceIDs: []string{caID}, AgeMax: 45},
@@ -277,7 +278,7 @@ func TestClientRateLimit(t *testing.T) {
 	start := time.Now()
 	for i := 0; i < 3; i++ {
 		// Errors are fine; only pacing matters here.
-		_, _ = e.client.GetAd("ad-404")
+		_, _ = e.client.GetAd(context.Background(), "ad-404")
 	}
 	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
 		t.Errorf("3 throttled requests took %v, want >= 60ms", elapsed)
@@ -287,12 +288,12 @@ func TestClientRateLimit(t *testing.T) {
 func TestInsightsBreakdownDimensions(t *testing.T) {
 	e := testEnv(t)
 	caID := e.uploadAudience(t, 2000)
-	cmp, err := e.client.CreateCampaign(CreateCampaignRequest{Name: "bd", Objective: "TRAFFIC"})
+	cmp, err := e.client.CreateCampaign(context.Background(), CreateCampaignRequest{Name: "bd", Objective: "TRAFFIC"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	img := image.FromProfile(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceBlack, Age: demo.ImpliedAdult})
-	ad, err := e.client.CreateAd(CreateAdRequest{
+	ad, err := e.client.CreateAd(context.Background(), CreateAdRequest{
 		CampaignID:       cmp.ID,
 		Creative:         WireCreative{Image: WireImageFrom(img)},
 		Targeting:        WireTargeting{CustomAudienceIDs: []string{caID}},
@@ -301,14 +302,14 @@ func TestInsightsBreakdownDimensions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.client.Deliver([]string{ad.ID}, 77); err != nil {
+	if err := e.client.Deliver(context.Background(), []string{ad.ID}, 77); err != nil {
 		t.Fatal(err)
 	}
-	full, err := e.client.Insights(ad.ID)
+	full, err := e.client.Insights(context.Background(), ad.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	genderOnly, err := e.client.InsightsBreakdown(ad.ID, "gender")
+	genderOnly, err := e.client.InsightsBreakdown(context.Background(), ad.ID, "gender")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestInsightsBreakdownDimensions(t *testing.T) {
 		t.Errorf("gender-only rows sum to %d, impressions %d", sum, full.Impressions)
 	}
 	// Unknown dimensions are rejected.
-	if _, err := e.client.InsightsBreakdown(ad.ID, "species"); err == nil {
+	if _, err := e.client.InsightsBreakdown(context.Background(), ad.ID, "species"); err == nil {
 		t.Error("unknown dimension: want error")
 	}
 }

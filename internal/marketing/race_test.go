@@ -1,6 +1,7 @@
 package marketing
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -28,7 +29,7 @@ func TestConcurrentTrafficRace(t *testing.T) {
 		{Gender: demo.GenderFemale, Race: demo.RaceWhite, Age: demo.ImpliedTeen},
 	}
 	createAd := func(worker, i int) (*AdResponse, error) {
-		cmp, err := e.client.CreateCampaign(CreateCampaignRequest{
+		cmp, err := e.client.CreateCampaign(context.Background(), CreateCampaignRequest{
 			Name:      fmt.Sprintf("race-w%d-%d", worker, i),
 			Objective: "TRAFFIC",
 		})
@@ -36,7 +37,7 @@ func TestConcurrentTrafficRace(t *testing.T) {
 			return nil, err
 		}
 		img := image.FromProfile(profiles[(worker+i)%len(profiles)])
-		return e.client.CreateAd(CreateAdRequest{
+		return e.client.CreateAd(context.Background(), CreateAdRequest{
 			CampaignID:       cmp.ID,
 			Creative:         WireCreative{Image: WireImageFrom(img), Headline: "race"},
 			Targeting:        WireTargeting{CustomAudienceIDs: []string{caID}},
@@ -68,11 +69,11 @@ func TestConcurrentTrafficRace(t *testing.T) {
 				if ad.Status != "ACTIVE" {
 					continue // rare review rejection config drift; nothing to deliver
 				}
-				if err := e.client.Deliver([]string{ad.ID}, int64(1000+10*w+i)); err != nil {
+				if err := e.client.Deliver(context.Background(), []string{ad.ID}, int64(1000+10*w+i)); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := e.client.Insights(ad.ID); err != nil {
+				if _, err := e.client.Insights(context.Background(), ad.ID); err != nil {
 					errs <- err
 					return
 				}
@@ -93,17 +94,17 @@ func TestConcurrentTrafficRace(t *testing.T) {
 				case <-time.After(50 * time.Millisecond):
 				}
 				for _, id := range known {
-					if _, err := e.client.GetAd(id); err != nil {
+					if _, err := e.client.GetAd(context.Background(), id); err != nil {
 						errs <- err
 						return
 					}
-					if _, err := e.client.InsightsBreakdown(id, "gender"); err != nil {
+					if _, err := e.client.InsightsBreakdown(context.Background(), id, "gender"); err != nil {
 						errs <- err
 						return
 					}
 				}
 				// Reads against unknown ads exercise the 404 path too.
-				if _, err := e.client.GetAd("ad-404"); err == nil {
+				if _, err := e.client.GetAd(context.Background(), "ad-404"); err == nil {
 					errs <- fmt.Errorf("GetAd(ad-404) should fail")
 					return
 				}
@@ -146,7 +147,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	base := before.Counters[obs.MetricRequests+"|GET /v1/ads/{id}"]
 	const n = 4
 	for i := 0; i < n; i++ {
-		_, _ = e.client.GetAd("ad-404")
+		_, _ = e.client.GetAd(context.Background(), "ad-404")
 	}
 	after := readSnapshot(t, e.srv.URL)
 	got := after.Counters[obs.MetricRequests+"|GET /v1/ads/{id}"] - base
@@ -232,7 +233,7 @@ func TestClientInjectableClock(t *testing.T) {
 	client.SetMinInterval(time.Hour)
 	start := time.Now()
 	for i := 0; i < 4; i++ {
-		_, _ = client.GetAd("ad-404") // errors fine; pacing is what's tested
+		_, _ = client.GetAd(context.Background(), "ad-404") // errors fine; pacing is what's tested
 	}
 	if real := time.Since(start); real > 30*time.Second {
 		t.Fatalf("throttled requests consumed %v of wall clock", real)
@@ -245,7 +246,7 @@ func TestClientInjectableClock(t *testing.T) {
 	// Restoring the nil clock falls back to the system clock.
 	client.SetClock(nil)
 	client.SetMinInterval(0)
-	if _, err := client.GetAd("ad-404"); err == nil {
+	if _, err := client.GetAd(context.Background(), "ad-404"); err == nil {
 		t.Error("GetAd(ad-404) should fail")
 	}
 }

@@ -2,14 +2,50 @@ package marketing
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/adaudit/impliedidentity/internal/obs"
 	"github.com/adaudit/impliedidentity/internal/platform"
 )
+
+// ServerLimits bound each request's claim on the server: wall time, body
+// size, and concurrency. They are the server-side half of graceful
+// degradation — past the in-flight cap the server sheds with 429 instead of
+// queueing into collapse.
+type ServerLimits struct {
+	// RequestTimeout caps one request's wall time (503 past it). Zero
+	// disables the cap.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the request body (413 past it). Zero disables.
+	MaxBodyBytes int64
+	// MaxInFlight caps concurrently served requests (429 past it). Zero
+	// disables shedding.
+	MaxInFlight int
+}
+
+// DefaultServerLimits are generous for the in-process simulator: wide
+// enough that no healthy workload hits them, tight enough that a stuck or
+// abusive one is contained.
+func DefaultServerLimits() ServerLimits {
+	return ServerLimits{
+		RequestTimeout: 60 * time.Second,
+		MaxBodyBytes:   16 << 20,
+		MaxInFlight:    256,
+	}
+}
+
+// ServerOption tunes a Server at construction.
+type ServerOption func(*Server)
+
+// WithLimits replaces the default request limits.
+func WithLimits(l ServerLimits) ServerOption {
+	return func(s *Server) { s.limits = l }
+}
 
 // Server wraps a platform in the HTTP API. It is safe for concurrent use:
 // the platform itself serializes mutating calls behind its account lock
@@ -17,17 +53,28 @@ import (
 // proceed concurrently, so the server adds no locking of its own. Every
 // endpoint is instrumented into the server's metrics registry, exposed at
 // GET /metrics with a liveness probe at GET /healthz.
+//
+// The handler chain hardens every endpoint: in-flight load shedding,
+// idempotency-key deduplication on mutating routes, panic recovery,
+// per-request timeouts, and request-body limits, each counted in the
+// registry.
 type Server struct {
-	p   *platform.Platform
-	reg *obs.Registry
+	p      *platform.Platform
+	reg    *obs.Registry
+	limits ServerLimits
+	idem   *idemCache
 }
 
 // NewServer wraps a platform.
-func NewServer(p *platform.Platform) (*Server, error) {
+func NewServer(p *platform.Platform, opts ...ServerOption) (*Server, error) {
 	if p == nil {
 		return nil, fmt.Errorf("marketing: nil platform")
 	}
-	return &Server{p: p, reg: obs.NewRegistry()}, nil
+	s := &Server{p: p, reg: obs.NewRegistry(), limits: DefaultServerLimits(), idem: newIdemCache()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
 }
 
 // Metrics returns the server's metrics registry (the data behind
@@ -36,11 +83,24 @@ func (s *Server) Metrics() *obs.Registry {
 	return s.reg
 }
 
-// Handler returns the API routing table with per-endpoint instrumentation.
+// Handler returns the API routing table with per-endpoint instrumentation
+// and the resilience chain. Outside-in per route: instrumentation → load
+// shedding → idempotency (mutating routes only) → panic recovery → request
+// timeout → body limit → handler. Shedding sits outside idempotency so a
+// shed request consumes nothing; recovery sits outside the timeout because
+// http.TimeoutHandler re-panics handler panics in the serving goroutine.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, fn http.HandlerFunc) {
-		mux.Handle(pattern, obs.Instrument(s.reg, pattern, fn))
+		var h http.Handler = fn
+		h = obs.BodyLimit(s.limits.MaxBodyBytes, h)
+		h = obs.Timeout(s.reg, s.limits.RequestTimeout, h)
+		h = obs.Recover(s.reg, h)
+		if strings.HasPrefix(pattern, "POST ") {
+			h = s.idem.middleware(s.reg, h)
+		}
+		h = obs.LoadShed(s.reg, s.limits.MaxInFlight, h)
+		mux.Handle(pattern, obs.Instrument(s.reg, pattern, h))
 	}
 	handle("POST /v1/customaudiences", s.handleCreateAudience)
 	handle("POST /v1/campaigns", s.handleCreateCampaign)
@@ -71,6 +131,12 @@ func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("marketing: request body exceeds %d bytes", tooBig.Limit))
+			return v, false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("marketing: malformed request: %w", err))
 		return v, false
 	}

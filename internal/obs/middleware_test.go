@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecoverPanickingHandler is the regression net for the serving path's
+// panic hygiene: a panicking handler must come back as a 500, be counted,
+// and leave the in-flight gauge at zero.
+func TestRecoverPanickingHandler(t *testing.T) {
+	reg := NewRegistry()
+	boom := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler exploded")
+	})
+	ts := httptest.NewServer(Instrument(reg, "GET /boom", Recover(reg, boom)))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "internal server error") {
+		t.Errorf("body %q", body)
+	}
+	if got := reg.Counter(MetricPanicsRecovered).Value(); got != 1 {
+		t.Errorf("panics_recovered = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricRequests + ".5xx|GET /boom").Value(); got != 1 {
+		t.Errorf("5xx counted %d, want 1", got)
+	}
+	if got := reg.Gauge(MetricInFlight).Value(); got != 0 {
+		t.Errorf("in-flight gauge %d after panic, want 0", got)
+	}
+}
+
+// TestInstrumentSurvivesUnrecoveredPanic drives a panic PAST Recover (no
+// Recover in the chain): the connection dies, but the instrumented
+// accounting must still balance thanks to deferred bookkeeping.
+func TestInstrumentSurvivesUnrecoveredPanic(t *testing.T) {
+	reg := NewRegistry()
+	boom := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler) // net/http swallows this one silently
+	})
+	ts := httptest.NewServer(Instrument(reg, "GET /boom", boom))
+	defer ts.Close()
+
+	if _, err := http.Get(ts.URL + "/boom"); err == nil {
+		t.Error("aborted connection should surface a transport error")
+	}
+	if got := reg.Gauge(MetricInFlight).Value(); got != 0 {
+		t.Errorf("in-flight gauge %d after abort, want 0", got)
+	}
+	if got := reg.Counter(MetricRequests + "|GET /boom").Value(); got != 1 {
+		t.Errorf("requests counted %d, want 1", got)
+	}
+}
+
+// TestRecoverRepanicsAbortHandler checks the one panic Recover must NOT eat:
+// http.ErrAbortHandler is how a handler (or the fault injector) kills a
+// connection on purpose.
+func TestRecoverRepanicsAbortHandler(t *testing.T) {
+	reg := NewRegistry()
+	abort := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	h := Recover(reg, abort)
+	defer func() {
+		if v := recover(); v != http.ErrAbortHandler {
+			t.Errorf("recovered %v, want http.ErrAbortHandler", v)
+		}
+		if got := reg.Counter(MetricPanicsRecovered).Value(); got != 0 {
+			t.Errorf("abort counted as recovered panic: %d", got)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	t.Fatal("ErrAbortHandler should have propagated")
+}
+
+func TestLoadShedOverCap(t *testing.T) {
+	reg := NewRegistry()
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	const cap = 2
+	ts := httptest.NewServer(LoadShed(reg, cap, slow))
+	defer ts.Close()
+
+	// Fill the cap with requests parked inside the handler.
+	var wg sync.WaitGroup
+	for i := 0; i < cap; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < cap; i++ {
+		<-started
+	}
+	// The next request must be shed immediately.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if !strings.Contains(string(body), "shed") {
+		t.Errorf("shed body %q", body)
+	}
+	if got := reg.Counter(MetricRequestsShed).Value(); got != 1 {
+		t.Errorf("requests_shed = %d, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+
+	// With capacity free again, requests are admitted.
+	resp2, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("post-drain status %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestTimeoutMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(200 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(Timeout(reg, 10*time.Millisecond, slow))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "timed out") {
+		t.Errorf("timeout body %q", body)
+	}
+	if got := reg.Counter(MetricRequestTimeouts).Value(); got != 1 {
+		t.Errorf("request_timeouts = %d, want 1", got)
+	}
+
+	// Fast handlers pass untouched.
+	fast := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	ts2 := httptest.NewServer(Timeout(reg, time.Second, fast))
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("fast handler status %d", resp2.StatusCode)
+	}
+}

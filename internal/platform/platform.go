@@ -3,6 +3,7 @@ package platform
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"github.com/adaudit/impliedidentity/internal/face"
@@ -141,6 +142,35 @@ func New(cfg Config, pop *population.Population, behave *population.Behavior) (*
 		stats:     map[string]*AdStats{},
 		reviewRNG: rand.New(rand.NewSource(cfg.Seed + 77)),
 	}, nil
+}
+
+// Inventory is a point-in-time census of the account's objects. The chaos
+// soak asserts exactly-once creation under fault injection against it: a
+// retried create that double-executed would inflate the counts, a lost one
+// would leave them short.
+type Inventory struct {
+	Audiences int
+	Campaigns int
+	Ads       int
+	// CampaignNames is sorted; duplicate names expose a double-created
+	// campaign even when counts happen to balance out.
+	CampaignNames []string
+}
+
+// Inventory counts the account's objects.
+func (p *Platform) Inventory() Inventory {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	inv := Inventory{
+		Audiences: len(p.audiences),
+		Campaigns: len(p.campaigns),
+		Ads:       len(p.ads),
+	}
+	for _, c := range p.campaigns {
+		inv.CampaignNames = append(inv.CampaignNames, c.Name)
+	}
+	sort.Strings(inv.CampaignNames)
+	return inv
 }
 
 // SetReviewRejectProb changes review strictness (used by the Appendix A

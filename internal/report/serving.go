@@ -17,10 +17,25 @@ type ServingRow struct {
 	MaxMs    float64
 }
 
+// ServingResilience carries the fault/retry accounting of a load run for the
+// summary's resilience line: client-side retries and breaker rejections,
+// server-side shed requests and injected faults.
+type ServingResilience struct {
+	Retries        int64
+	BreakerRejects int64
+	RequestsShed   int64
+	FaultsInjected int64
+}
+
+func (r ServingResilience) any() bool {
+	return r.Retries != 0 || r.BreakerRejects != 0 || r.RequestsShed != 0 || r.FaultsInjected != 0
+}
+
 // ServingSummary renders the adload human-readable result: one aligned row
 // per operation plus the run totals line, in the style of the paper-table
-// formatters above.
-func ServingSummary(title string, rows []ServingRow, wallSeconds, throughputRPS float64, totalErrors int64) string {
+// formatters above. A resilience line is appended when any retries, breaker
+// rejections, shed requests, or injected faults occurred.
+func ServingSummary(title string, rows []ServingRow, wallSeconds, throughputRPS float64, totalErrors int64, res ServingResilience) string {
 	var b strings.Builder
 	b.WriteString(title + "\n")
 	fmt.Fprintf(&b, "%-18s %9s %7s %10s %10s %10s %10s\n",
@@ -30,5 +45,9 @@ func ServingSummary(title string, rows []ServingRow, wallSeconds, throughputRPS 
 			r.Op, r.Requests, r.Errors, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
 	}
 	fmt.Fprintf(&b, "%-18s %.2fs wall, %.1f req/s, %d errors\n", "total", wallSeconds, throughputRPS, totalErrors)
+	if res.any() {
+		fmt.Fprintf(&b, "%-18s %d injected faults, %d retries, %d shed, %d breaker rejects\n",
+			"resilience", res.FaultsInjected, res.Retries, res.RequestsShed, res.BreakerRejects)
+	}
 	return b.String()
 }
