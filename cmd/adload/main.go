@@ -38,6 +38,7 @@ import (
 	"github.com/adaudit/impliedidentity/internal/platform"
 	"github.com/adaudit/impliedidentity/internal/population"
 	"github.com/adaudit/impliedidentity/internal/report"
+	"github.com/adaudit/impliedidentity/internal/store"
 	"github.com/adaudit/impliedidentity/internal/voter"
 )
 
@@ -70,6 +71,8 @@ func run(args []string, stdout io.Writer) error {
 	faultSeed := fs.Int64("fault-seed", 1, "self-hosted chaos: fault-schedule seed (same seed, same schedule)")
 	faultKinds := fs.String("fault-kinds", "all", "self-hosted chaos: comma-separated fault kinds (latency,429,5xx,drop,slow) or all")
 	shedCap := fs.Int("shed-cap", marketing.DefaultServerLimits().MaxInFlight, "self-hosted server: max in-flight requests before shedding with 429 (0 disables)")
+	storeDir := fs.String("store-dir", "", "self-hosted server: durable state directory (empty serves from memory only)")
+	fsyncMode := fs.String("fsync", "always", "self-hosted server: WAL fsync discipline (always, interval, none); requires -store-dir")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,13 +80,17 @@ func run(args []string, stdout io.Writer) error {
 	if *target != "" {
 		// Faults are injected into the self-hosted server's handler chain;
 		// against a remote server these flags would silently do nothing.
-		for _, f := range []string{"fault-rate", "fault-seed", "fault-kinds", "shed-cap"} {
+		for _, f := range []string{"fault-rate", "fault-seed", "fault-kinds", "shed-cap", "store-dir", "fsync"} {
 			if flagWasSet(fs, f) {
 				return fmt.Errorf("-%s applies to the self-hosted server and cannot be combined with -target", f)
 			}
 		}
 	}
 	kinds, err := faults.ParseKinds(*faultKinds)
+	if err != nil {
+		return err
+	}
+	fsync, err := store.ParseFsyncMode(*fsyncMode)
 	if err != nil {
 		return err
 	}
@@ -95,14 +102,18 @@ func run(args []string, stdout io.Writer) error {
 		if *faultRate > 0 {
 			fmt.Fprintf(stdout, "injecting faults: rate %.2f, seed %d, kinds %v\n", *faultRate, *faultSeed, kinds)
 		}
-		ts, pool, err := selfHost(*seed, *voters, *logRows, *shedCap, faults.Config{
+		if *storeDir != "" {
+			fmt.Fprintf(stdout, "durable store at %s (fsync=%s)\n", *storeDir, fsync)
+		}
+		ts, pool, closeStore, err := selfHost(*seed, *voters, *logRows, *shedCap, faults.Config{
 			Seed:  *faultSeed,
 			Rate:  *faultRate,
 			Kinds: kinds,
-		})
+		}, *storeDir, fsync)
 		if err != nil {
 			return err
 		}
+		defer closeStore()
 		defer ts.Close()
 		baseURL = ts.URL
 		hashes = pool
@@ -194,21 +205,22 @@ func flagWasSet(fs *flag.FlagSet, name string) bool {
 
 // selfHost builds the synthetic world and serves the marketing API from an
 // in-process listener (wrapped in the fault injector when faultCfg.Rate > 0),
-// returning the server and the audience hash pool.
-func selfHost(seed int64, numVoters, logRows, shedCap int, faultCfg faults.Config) (*httptest.Server, []string, error) {
+// returning the server, the audience hash pool, and a store closer (a no-op
+// when storeDir is empty).
+func selfHost(seed int64, numVoters, logRows, shedCap int, faultCfg faults.Config, storeDir string, fsync store.FsyncMode) (*httptest.Server, []string, func(), error) {
 	flCfg := voter.DefaultGeneratorConfig(demo.StateFL, seed+1)
 	flCfg.NumVoters = numVoters
 	fl, err := voter.Generate(flCfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	pop, err := population.Build(population.Config{Seed: seed + 3}, fl)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	behave, err := population.NewBehavior(population.DefaultBehaviorConfig())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	cfg := platform.DefaultConfig(seed + 4)
 	cfg.Training.LogRows = logRows
@@ -218,13 +230,28 @@ func selfHost(seed int64, numVoters, logRows, shedCap int, faultCfg faults.Confi
 	cfg.ReviewRejectProb = 0
 	plat, err := platform.New(cfg, pop, behave)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	limits := marketing.DefaultServerLimits()
 	limits.MaxInFlight = shedCap
-	srv, err := marketing.NewServer(plat, marketing.WithLimits(limits))
+	reg := obs.NewRegistry()
+	serverOpts := []marketing.ServerOption{marketing.WithLimits(limits), marketing.WithRegistry(reg)}
+	closeStore := func() {}
+	if storeDir != "" {
+		st, err := store.Open(store.Options{Dir: storeDir, Fsync: fsync, Metrics: reg})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if _, err := st.Recover(plat); err != nil {
+			return nil, nil, nil, err
+		}
+		serverOpts = append(serverOpts, marketing.WithPersister(st))
+		closeStore = func() { _, _ = st.Close() }
+	}
+	srv, err := marketing.NewServer(plat, serverOpts...)
 	if err != nil {
-		return nil, nil, err
+		closeStore()
+		return nil, nil, nil, err
 	}
 	handler := srv.Handler()
 	if faultCfg.Rate > 0 {
@@ -232,11 +259,12 @@ func selfHost(seed int64, numVoters, logRows, shedCap int, faultCfg faults.Confi
 		// end-of-run /metrics scrape reports them next to the serving stats.
 		inj, err := faults.New(faultCfg, srv.Metrics())
 		if err != nil {
-			return nil, nil, err
+			closeStore()
+			return nil, nil, nil, err
 		}
 		handler = inj.Middleware(handler)
 	}
-	return httptest.NewServer(handler), hashesFromRecords(fl.Records), nil
+	return httptest.NewServer(handler), hashesFromRecords(fl.Records), closeStore, nil
 }
 
 // hashesFromExtract derives the audience hash pool from an FL-layout voter

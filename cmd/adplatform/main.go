@@ -29,8 +29,10 @@ import (
 	"github.com/adaudit/impliedidentity/internal/demo"
 	"github.com/adaudit/impliedidentity/internal/faults"
 	"github.com/adaudit/impliedidentity/internal/marketing"
+	"github.com/adaudit/impliedidentity/internal/obs"
 	"github.com/adaudit/impliedidentity/internal/platform"
 	"github.com/adaudit/impliedidentity/internal/population"
+	"github.com/adaudit/impliedidentity/internal/store"
 	"github.com/adaudit/impliedidentity/internal/voter"
 )
 
@@ -52,10 +54,17 @@ func run(args []string) error {
 	faultSeed := fs.Int64("fault-seed", 1, "chaos: fault-schedule seed (same seed, same schedule)")
 	faultKinds := fs.String("fault-kinds", "all", "chaos: comma-separated fault kinds (latency,429,5xx,drop,slow) or all")
 	shedCap := fs.Int("shed-cap", marketing.DefaultServerLimits().MaxInFlight, "max in-flight requests before shedding with 429 (0 disables)")
+	storeDir := fs.String("store-dir", "", "durable state directory: WAL + snapshots, recovered on boot (empty disables durability)")
+	fsyncMode := fs.String("fsync", "always", "WAL fsync discipline: always, interval, or none")
+	snapshotEvery := fs.Int("snapshot-every", 5000, "write a snapshot and compact the WAL every N records (0 disables automatic snapshots)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	kinds, err := faults.ParseKinds(*faultKinds)
+	if err != nil {
+		return err
+	}
+	fsync, err := store.ParseFsyncMode(*fsyncMode)
 	if err != nil {
 		return err
 	}
@@ -96,7 +105,32 @@ func run(args []string) error {
 	}
 	limits := marketing.DefaultServerLimits()
 	limits.MaxInFlight = *shedCap
-	srv, err := marketing.NewServer(plat, marketing.WithLimits(limits))
+	reg := obs.NewRegistry()
+	serverOpts := []marketing.ServerOption{marketing.WithLimits(limits), marketing.WithRegistry(reg)}
+
+	// Durable state: recover the account from disk (the world itself is
+	// rebuilt from the seed above), then persist every mutation before its
+	// response is acked.
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(store.Options{
+			Dir:           *storeDir,
+			Fsync:         fsync,
+			SnapshotEvery: *snapshotEvery,
+			Metrics:       reg,
+		})
+		if err != nil {
+			return err
+		}
+		info, err := st.Recover(plat)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("durable store at %s (fsync=%s): %s\n", *storeDir, fsync, info)
+		serverOpts = append(serverOpts, marketing.WithPersister(st))
+	}
+
+	srv, err := marketing.NewServer(plat, serverOpts...)
 	if err != nil {
 		return err
 	}
@@ -139,6 +173,16 @@ func run(args []string) error {
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if st != nil {
+		// In-flight requests are drained, so the WAL tail is final: flush it,
+		// write the shutdown snapshot, and log where a restart will resume.
+		rp, err := st.Close()
+		if err != nil {
+			return fmt.Errorf("closing store: %w", err)
+		}
+		fmt.Printf("store closed: restart recovers from snapshot seq %d + %d WAL records\n",
+			rp.SnapshotSeq, rp.TailRecords)
 	}
 	fmt.Println("final serving metrics:")
 	fmt.Print(srv.Metrics().Snapshot().String())

@@ -1,0 +1,320 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/adaudit/impliedidentity/internal/faults"
+	"github.com/adaudit/impliedidentity/internal/marketing"
+	"github.com/adaudit/impliedidentity/internal/obs"
+	"github.com/adaudit/impliedidentity/internal/platform"
+	"github.com/adaudit/impliedidentity/internal/store"
+)
+
+// ackLedger records every operation the server ACKNOWLEDGED (2xx response
+// reached the client). The durability contract under test: an acked create
+// or delivery survives any crash, because the response was only written
+// after the WAL record was flushed.
+type ackLedger struct {
+	mu        sync.Mutex
+	audiences map[string]bool
+	campaigns map[string]string // id -> name
+	ads       map[string]bool
+	delivered map[string]int // adID -> impressions seen post-deliver (-1 unknown)
+}
+
+func newAckLedger() *ackLedger {
+	return &ackLedger{
+		audiences: map[string]bool{},
+		campaigns: map[string]string{},
+		ads:       map[string]bool{},
+		delivered: map[string]int{},
+	}
+}
+
+// crashServer is one incarnation of the durable platform between restarts.
+type crashServer struct {
+	p  *platform.Platform
+	st *store.Store
+	ts *httptest.Server
+}
+
+// startCrashServer recovers the platform from dir and serves it with fault
+// injection armed and persist-before-respond wired in.
+func startCrashServer(t *testing.T, dir string, faultSeed int64) *crashServer {
+	t.Helper()
+	pop, behave, _ := world(t)
+	cfg := platform.DefaultConfig(903)
+	cfg.Training.LogRows = 2000
+	cfg.ReviewRejectProb = 0
+	p, err := platform.New(cfg, pop, behave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st, err := store.Open(store.Options{
+		Dir: dir,
+		// Fsync none: the soak simulates process crashes (Kill drops the
+		// store's unflushed buffer), not machine power loss, and fsyncs
+		// would only slow the loop without changing what Kill can lose.
+		Fsync:         store.FsyncNone,
+		FlushInterval: 500 * time.Microsecond,
+		SnapshotEvery: 25, // force snapshot+compaction churn during the soak
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Recover(p); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := marketing.NewServer(p, marketing.WithPersister(st), marketing.WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(faults.Config{Seed: faultSeed, Rate: 0.2, Kinds: faults.AllKinds()}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &crashServer{p: p, st: st, ts: httptest.NewServer(inj.Middleware(srv.Handler()))}
+}
+
+// kill crashes the incarnation: the store drops its unflushed tail exactly
+// like a SIGKILLed process, and every client connection breaks mid-flight.
+func (cs *crashServer) kill() {
+	cs.st.Kill()
+	cs.ts.CloseClientConnections()
+	cs.ts.Close()
+}
+
+// newCrashClient returns a client with a deep retry budget, matching the
+// chaos soak: at a 20% fault rate back-to-back faults per call are routine.
+func newCrashClient(t *testing.T, url string) *marketing.Client {
+	t.Helper()
+	client, err := marketing.NewClient(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.SetRetryPolicy(marketing.RetryPolicy{
+		MaxAttempts: 8,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+	})
+	return client
+}
+
+// runScenario drives one advertiser flow (audience → campaign → ads →
+// deliver → insights), acking each step into the ledger only after the
+// server's 2xx. Failures just end the scenario — during a crash window they
+// are expected.
+func runScenario(ctx context.Context, client *marketing.Client, led *ackLedger, hashes []string, tag string) {
+	aud, err := client.CreateAudience(ctx, "crash-aud-"+tag, hashes)
+	if err != nil {
+		return
+	}
+	led.mu.Lock()
+	led.audiences[aud.ID] = true
+	led.mu.Unlock()
+
+	cmpName := "crash-cmp-" + tag
+	cmp, err := client.CreateCampaign(ctx, marketing.CreateCampaignRequest{
+		Name: cmpName, Objective: "TRAFFIC", AccountAge: 2019,
+	})
+	if err != nil {
+		return
+	}
+	led.mu.Lock()
+	led.campaigns[cmp.ID] = cmpName
+	led.mu.Unlock()
+
+	var adIDs []string
+	for i := 0; i < 2; i++ {
+		ad, err := client.CreateAd(ctx, marketing.CreateAdRequest{
+			CampaignID:       cmp.ID,
+			Creative:         marketing.WireCreative{Headline: "h"},
+			Targeting:        marketing.WireTargeting{CustomAudienceIDs: []string{aud.ID}},
+			DailyBudgetCents: 200,
+		})
+		if err != nil {
+			return
+		}
+		led.mu.Lock()
+		led.ads[ad.ID] = true
+		led.mu.Unlock()
+		adIDs = append(adIDs, ad.ID)
+	}
+
+	if err := client.Deliver(ctx, adIDs, 42); err != nil {
+		return
+	}
+	led.mu.Lock()
+	for _, id := range adIDs {
+		led.delivered[id] = -1
+	}
+	led.mu.Unlock()
+	for _, id := range adIDs {
+		if ins, err := client.Insights(ctx, id); err == nil {
+			led.mu.Lock()
+			led.delivered[id] = ins.Impressions
+			led.mu.Unlock()
+		}
+	}
+}
+
+// runLoad runs workers through scenarios until the context dies or the
+// scenario budget is spent.
+func runLoad(ctx context.Context, client *marketing.Client, led *ackLedger, hashes []string, workers, scenarios int, phase string) {
+	var wg sync.WaitGroup
+	var next int
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= scenarios || ctx.Err() != nil {
+					return
+				}
+				runScenario(ctx, client, led, hashes, fmt.Sprintf("%s-%d", phase, i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// deliveredCount reports how many delivery acks the ledger holds.
+func (l *ackLedger) deliveredCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.delivered)
+}
+
+// verifyLedger asserts every acked object and delivery day exists on p.
+func verifyLedger(t *testing.T, p *platform.Platform, led *ackLedger, phase string) {
+	t.Helper()
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	for id := range led.audiences {
+		if _, err := p.Audience(id); err != nil {
+			t.Errorf("%s: acked audience %s lost: %v", phase, id, err)
+		}
+	}
+	for id, name := range led.campaigns {
+		c, err := p.Campaign(id)
+		if err != nil {
+			t.Errorf("%s: acked campaign %s lost: %v", phase, id, err)
+			continue
+		}
+		if c.Name != name {
+			t.Errorf("%s: campaign %s recovered with name %q, want %q", phase, id, c.Name, name)
+		}
+	}
+	for id := range led.ads {
+		if _, err := p.Ad(id); err != nil {
+			t.Errorf("%s: acked ad %s lost: %v", phase, id, err)
+		}
+	}
+	for id, imp := range led.delivered {
+		ad, err := p.Ad(id)
+		if err != nil {
+			t.Errorf("%s: delivered ad %s lost: %v", phase, id, err)
+			continue
+		}
+		if ad.Status != platform.StatusCompleted {
+			t.Errorf("%s: ad %s delivery day lost: status %v, want COMPLETED", phase, id, ad.Status)
+		}
+		st, err := p.Insights(id)
+		if err != nil {
+			t.Errorf("%s: delivered ad %s has no insights: %v", phase, id, err)
+			continue
+		}
+		if imp >= 0 && st.Impressions != imp {
+			t.Errorf("%s: ad %s recovered with %d impressions, served %d", phase, id, st.Impressions, imp)
+		}
+	}
+	// No duplicates: a retried create that double-executed would produce a
+	// second campaign with the same name.
+	seen := map[string]bool{}
+	for _, name := range p.Inventory().CampaignNames {
+		if seen[name] {
+			t.Errorf("%s: campaign %q exists twice", phase, name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestCrashRecoverySoak is the durability acceptance soak: concurrent
+// advertiser load against a fault-injecting (20%), durably-backed server;
+// the server is crashed mid-load (store buffer dropped, connections cut),
+// restarted from disk, loaded again, gracefully shut down, and restarted
+// once more. After every restart, every acknowledged create and every
+// committed delivery day must be present — zero acked state lost — while
+// torn WAL tails from the crash are truncated, not fatal. Run with -race.
+func TestCrashRecoverySoak(t *testing.T) {
+	dir := t.TempDir()
+	hashes := hashPool(t, 2000)
+	led := newAckLedger()
+
+	// Phase 1: load until at least two delivery days committed, then crash
+	// mid-load.
+	cs1 := startCrashServer(t, dir, 42)
+	client1 := newCrashClient(t, cs1.ts.URL)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		runLoad(ctx1, client1, led, hashes, 6, 200, "p1")
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	for led.deliveredCount() < 4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if led.deliveredCount() < 4 {
+		t.Fatal("phase 1 never committed a delivery day")
+	}
+	cs1.kill() // mid-load: workers are still issuing requests
+	cancel1()
+	<-loadDone
+	p1Audiences := len(led.audiences)
+
+	// Phase 2: recover from the crash and verify, then keep loading.
+	cs2 := startCrashServer(t, dir, 43)
+	verifyLedger(t, cs2.p, led, "after crash")
+	client2 := newCrashClient(t, cs2.ts.URL)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel2()
+	runLoad(ctx2, client2, led, hashes, 4, 6, "p2")
+	if len(led.audiences) <= p1Audiences {
+		t.Error("phase 2 load created nothing; the recovered server is not serving writes")
+	}
+	// Graceful shutdown this time: drain, flush, final snapshot.
+	cs2.ts.Close()
+	rp, err := cs2.st.Close()
+	if err != nil {
+		t.Fatalf("graceful close after recovery: %v", err)
+	}
+	if rp.TailRecords != 0 {
+		t.Errorf("graceful close left %d WAL records outside the final snapshot", rp.TailRecords)
+	}
+
+	// Phase 3: restart once more and verify the union of both phases.
+	cs3 := startCrashServer(t, dir, 44)
+	defer func() {
+		cs3.ts.Close()
+		_, _ = cs3.st.Close()
+	}()
+	verifyLedger(t, cs3.p, led, "after graceful restart")
+
+	led.mu.Lock()
+	t.Logf("soak: %d audiences, %d campaigns, %d ads, %d delivered ads acked and verified across 1 crash + 1 graceful restart",
+		len(led.audiences), len(led.campaigns), len(led.ads), len(led.delivered))
+	led.mu.Unlock()
+}

@@ -109,6 +109,9 @@ type Client struct {
 
 	idemBase string
 	idemSeq  atomic.Uint64
+
+	// journal records calls that needed retries, bounded (see retrylog.go).
+	journal *retryJournal
 }
 
 // NewClient builds a client for the API at baseURL (e.g.
@@ -127,6 +130,7 @@ func NewClient(baseURL string) (*Client, error) {
 		rng:      rand.New(rand.NewSource(rand.Int63())),
 		reg:      obs.NewRegistry(),
 		idemBase: fmt.Sprintf("ck-%08x", rand.Uint32()),
+		journal:  newRetryJournal(),
 	}, nil
 }
 
@@ -354,9 +358,32 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	maxAttempts := c.retry.MaxAttempts
 	clock := c.clock
 	retries := c.reg.Counter(MetricClientRetries)
+	evictions := c.reg.Counter(MetricRetryJournalEvictions)
 	c.mu.Unlock()
 	if maxAttempts <= 0 {
 		maxAttempts = 1
+	}
+
+	// journal logs this call into the bounded retry journal; only calls
+	// that actually retried are recorded.
+	journal := func(attempts int, outcome string, lastErr error) {
+		if attempts <= 1 {
+			return
+		}
+		msg := ""
+		if lastErr != nil {
+			msg = lastErr.Error()
+		}
+		if c.journal.record(RetryEvent{
+			Method:         method,
+			Path:           path,
+			IdempotencyKey: idemKey,
+			Attempts:       attempts,
+			Outcome:        outcome,
+			LastError:      msg,
+		}) {
+			evictions.Inc()
+		}
 	}
 
 	var lastErr error
@@ -374,6 +401,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		err := c.once(ctx, method, path, body, idemKey, out)
 		if err == nil {
 			c.breakerRecord(true)
+			journal(attempt, RetryRecovered, lastErr)
 			return nil
 		}
 		lastErr = err
@@ -385,6 +413,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			if errors.As(err, &apiErr) {
 				c.breakerRecord(true)
 			}
+			journal(attempt, RetryTerminal, err)
 			return err
 		}
 		c.breakerRecord(false)
@@ -398,6 +427,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		clock.Sleep(c.backoffDelay(attempt, retryAfter))
 	}
+	journal(maxAttempts, RetryExhausted, lastErr)
 	return fmt.Errorf("marketing: %s %s failed after %d attempts: %w", method, path, maxAttempts, lastErr)
 }
 

@@ -1,0 +1,101 @@
+package marketing
+
+import "sync"
+
+// The client keeps a journal of calls that needed retries, for postmortems
+// after a chaotic run (which call exhausted its budget? what did the last
+// attempt see?). Like the server's idempotency cache, the bookkeeping is
+// bounded: a soak that retries millions of times must not grow client
+// memory without limit, so the journal is a fixed-capacity ring that evicts
+// the oldest entry — losing old history, never correctness.
+
+// maxRetryJournal caps the retry journal. Past it the oldest entry is
+// evicted; MetricRetryJournalEvictions counts how much history was shed.
+const maxRetryJournal = 512
+
+// MetricRetryJournalEvictions counts retry-journal entries evicted to honor
+// the capacity bound.
+const MetricRetryJournalEvictions = "client.retry_journal_evictions"
+
+// Retry outcomes recorded in RetryEvent.Outcome.
+const (
+	// RetryRecovered: a later attempt succeeded.
+	RetryRecovered = "recovered"
+	// RetryExhausted: every attempt in the budget failed retryably.
+	RetryExhausted = "exhausted"
+	// RetryTerminal: after at least one retry, the call hit a non-retryable
+	// answer and stopped early.
+	RetryTerminal = "terminal"
+)
+
+// RetryEvent is one journal entry: an API call that took more than one
+// attempt, with the idempotency key that made the retries safe to send.
+type RetryEvent struct {
+	Method         string
+	Path           string
+	IdempotencyKey string
+	Attempts       int
+	Outcome        string
+	// LastError is the error the final retried attempt observed (for a
+	// recovered call, the one that triggered the last retry).
+	LastError string
+}
+
+// retryJournal is the fixed-capacity ring buffer behind the journal.
+type retryJournal struct {
+	mu      sync.Mutex
+	buf     []RetryEvent
+	start   int // index of the oldest entry
+	n       int
+	evicted uint64
+}
+
+func newRetryJournal() *retryJournal {
+	return &retryJournal{buf: make([]RetryEvent, maxRetryJournal)}
+}
+
+// record appends an event, evicting the oldest past capacity; it reports
+// whether an eviction happened so the caller can count it.
+func (j *retryJournal) record(ev RetryEvent) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.n < len(j.buf) {
+		j.buf[(j.start+j.n)%len(j.buf)] = ev
+		j.n++
+		return false
+	}
+	j.buf[j.start] = ev
+	j.start = (j.start + 1) % len(j.buf)
+	j.evicted++
+	return true
+}
+
+// events returns the journal oldest-first.
+func (j *retryJournal) events() []RetryEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]RetryEvent, j.n)
+	for i := 0; i < j.n; i++ {
+		out[i] = j.buf[(j.start+i)%len(j.buf)]
+	}
+	return out
+}
+
+func (j *retryJournal) evictedCount() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.evicted
+}
+
+// RetryEvents returns the client's retry journal, oldest entry first. The
+// journal holds at most maxRetryJournal entries; RetryEvictions reports how
+// many older ones were shed.
+func (c *Client) RetryEvents() []RetryEvent {
+	return c.journal.events()
+}
+
+// RetryEvictions reports how many journal entries were evicted to keep the
+// journal within its capacity bound.
+func (c *Client) RetryEvictions() uint64 {
+	return c.journal.evictedCount()
+}

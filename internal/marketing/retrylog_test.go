@@ -1,0 +1,109 @@
+package marketing
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetryJournalRecordsOutcomes(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1: // first call: one 503 then success → recovered
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			fmt.Fprint(w, `{"id":"ad-1","status":"ACTIVE"}`)
+		case 3: // second call: 503 then terminal 404 → terminal
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 4:
+			w.WriteHeader(http.StatusNotFound)
+		default: // third call: nothing but 503s → exhausted
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	client, _ := newResilienceClient(t, ts)
+	client.SetRetryPolicy(fastRetry(3))
+	if _, err := client.GetAd(context.Background(), "ad-1"); err != nil {
+		t.Fatalf("recovered call: %v", err)
+	}
+	if _, err := client.GetAd(context.Background(), "ad-2"); err == nil {
+		t.Fatal("terminal call: want 404 error")
+	}
+	if _, err := client.GetAd(context.Background(), "ad-3"); err == nil {
+		t.Fatal("exhausted call: want failure")
+	}
+
+	events := client.RetryEvents()
+	if len(events) != 3 {
+		t.Fatalf("journal holds %d events, want 3: %+v", len(events), events)
+	}
+	for i, want := range []string{RetryRecovered, RetryTerminal, RetryExhausted} {
+		if events[i].Outcome != want {
+			t.Errorf("event %d outcome %q, want %q", i, events[i].Outcome, want)
+		}
+		if events[i].Attempts < 2 {
+			t.Errorf("event %d records %d attempts; only retried calls belong in the journal", i, events[i].Attempts)
+		}
+		if events[i].LastError == "" {
+			t.Errorf("event %d has no last error", i)
+		}
+	}
+	if events[0].Method != http.MethodGet || events[0].Path != "/v1/ads/ad-1" {
+		t.Errorf("event 0 identifies %s %s", events[0].Method, events[0].Path)
+	}
+}
+
+// TestRetryJournalCapHoldsUnderLoad hammers a permanently failing server
+// with far more retried calls than the journal's capacity, concurrently,
+// and asserts the bookkeeping stays bounded: at most maxRetryJournal
+// entries retained, the overflow counted as evictions, newest entries
+// preserved.
+func TestRetryJournalCapHoldsUnderLoad(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	client, _ := newResilienceClient(t, ts)
+	client.SetRetryPolicy(fastRetry(2))
+	// The breaker would fail calls fast (no retries, no journal entries)
+	// after its threshold; give it room for the whole load.
+	client.SetBreakerPolicy(BreakerPolicy{Threshold: 1 << 30, Cooldown: 0})
+
+	const calls = maxRetryJournal + 300
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < calls; i += 8 {
+				_, _ = client.GetAd(context.Background(), fmt.Sprintf("ad-%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	events := client.RetryEvents()
+	if len(events) != maxRetryJournal {
+		t.Fatalf("journal holds %d entries, want exactly the cap %d", len(events), maxRetryJournal)
+	}
+	wantEvicted := uint64(calls - maxRetryJournal)
+	if got := client.RetryEvictions(); got != wantEvicted {
+		t.Errorf("evictions %d, want %d", got, wantEvicted)
+	}
+	if got := client.Metrics().Counter(MetricRetryJournalEvictions).Value(); got != int64(wantEvicted) {
+		t.Errorf("eviction counter %d, want %d", got, wantEvicted)
+	}
+	for i, ev := range events {
+		if ev.Outcome != RetryExhausted || ev.Attempts != 2 {
+			t.Fatalf("entry %d corrupted under concurrent load: %+v", i, ev)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package marketing
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,6 +48,31 @@ func WithLimits(l ServerLimits) ServerOption {
 	return func(s *Server) { s.limits = l }
 }
 
+// Persister is the durability barrier a state store provides: Barrier
+// returns once every platform mutation applied so far is persistent.
+type Persister interface {
+	Barrier(ctx context.Context) error
+}
+
+// WithPersister makes every mutating endpoint wait for durability before
+// acking: the response is written only after the mutation's WAL record is
+// flushed (persist-before-respond). A failed barrier turns into a 503,
+// which the idempotency cache deliberately does not memoize, so the
+// client's retry re-executes once the store recovers.
+func WithPersister(p Persister) ServerOption {
+	return func(s *Server) { s.persist = p }
+}
+
+// WithRegistry shares a metrics registry with the server instead of the
+// private default, so store and HTTP metrics land in one GET /metrics.
+func WithRegistry(reg *obs.Registry) ServerOption {
+	return func(s *Server) {
+		if reg != nil {
+			s.reg = reg
+		}
+	}
+}
+
 // Server wraps a platform in the HTTP API. It is safe for concurrent use:
 // the platform itself serializes mutating calls behind its account lock
 // (as a real API would serialize per-account writes) while read endpoints
@@ -59,10 +85,11 @@ func WithLimits(l ServerLimits) ServerOption {
 // per-request timeouts, and request-body limits, each counted in the
 // registry.
 type Server struct {
-	p      *platform.Platform
-	reg    *obs.Registry
-	limits ServerLimits
-	idem   *idemCache
+	p       *platform.Platform
+	reg     *obs.Registry
+	limits  ServerLimits
+	idem    *idemCache
+	persist Persister
 }
 
 // NewServer wraps a platform.
@@ -111,7 +138,24 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/insights", s.handleInsights)
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	mux.Handle("GET /healthz", obs.HealthzHandler(s.reg))
+	// Operational census, not part of the advertiser API: the crash-recovery
+	// smoke test diffs it across a kill/restart.
+	mux.HandleFunc("GET /debug/inventory", s.handleInventory)
 	return mux
+}
+
+// persisted waits for the durability barrier before a mutating response is
+// acked. On failure it writes the 503 and reports false; without a
+// configured persister it is a no-op.
+func (s *Server) persisted(w http.ResponseWriter, r *http.Request) bool {
+	if s.persist == nil {
+		return true
+	}
+	if err := s.persist.Barrier(r.Context()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("marketing: durability barrier: %w", err))
+		return false
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -153,6 +197,9 @@ func (s *Server) handleCreateAudience(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.persisted(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusCreated, CreateAudienceResponse{ID: ca.ID, MatchedSize: ca.Size})
 }
 
@@ -174,6 +221,9 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	c, err := s.p.CreateCampaign(req.Name, obj, special, req.AccountAge)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.persisted(w, r) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, CreateCampaignResponse{ID: c.ID})
@@ -205,6 +255,9 @@ func (s *Server) handleCreateAd(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.persisted(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusCreated, AdResponse{ID: ad.ID, Status: ad.Status.String()})
 }
 
@@ -217,6 +270,9 @@ func (s *Server) handleAppeal(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusNotFound
 		}
 		writeError(w, code, err)
+		return
+	}
+	if !s.persisted(w, r) {
 		return
 	}
 	writeJSON(w, http.StatusOK, AdResponse{ID: ad.ID, Status: ad.Status.String()})
@@ -242,7 +298,14 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.persisted(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusOK, DeliverResponse{Delivered: len(req.AdIDs)})
+}
+
+func (s *Server) handleInventory(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.Inventory())
 }
 
 func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {

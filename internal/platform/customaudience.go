@@ -59,6 +59,7 @@ func (p *Platform) CreateCustomAudience(name string, piiHashes []string) (*Custo
 	}
 	ca.Size = len(ca.members)
 	p.audiences[ca.ID] = ca
+	p.emit(Mutation{Kind: MutAudienceCreated, Audience: audienceState(ca)})
 	return ca, nil
 }
 

@@ -162,6 +162,16 @@ func (p *Platform) RunDay(adIDs []string, seed int64) error {
 		st.Reach = len(reached[ad.ID])
 		st.SpendCents = math.Round(ad.spent * 100)
 	}
+	// One mutation commits the whole day: the completed ads and their frozen
+	// insights, so a recovered platform reports the day identically.
+	del := &DeliveryState{Seed: seed}
+	for _, ad := range active {
+		del.Completed = append(del.Completed, ad.ID)
+		del.Stats = append(del.Stats, *adStatsState(p.stats[ad.ID]))
+	}
+	sort.Strings(del.Completed)
+	sort.Slice(del.Stats, func(i, j int) bool { return del.Stats[i].AdID < del.Stats[j].AdID })
+	p.emit(Mutation{Kind: MutDayDelivered, Delivery: del})
 	return nil
 }
 

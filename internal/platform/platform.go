@@ -105,6 +105,10 @@ type Platform struct {
 	served    []servedRow // retraining buffer of served impressions
 	reviewRNG *rand.Rand
 	nextID    int
+
+	// hook receives every committed mutation (see state.go); invoked while
+	// p.mu is held for writing, so emission order is application order.
+	hook MutationHook
 }
 
 // New builds a platform over a user population: it trains the platform's
@@ -201,6 +205,8 @@ func (p *Platform) CreateCampaign(name string, obj Objective, special SpecialAdC
 		AccountAge:      accountAge,
 	}
 	p.campaigns[c.ID] = c
+	cp := *c
+	p.emit(Mutation{Kind: MutCampaignCreated, Campaign: &cp})
 	return c, nil
 }
 
@@ -260,6 +266,9 @@ func (p *Platform) CreateAd(campaignID string, creative Creative, targeting Targ
 		ad.Status = StatusRejected
 	}
 	p.ads[ad.ID] = ad
+	// The emitted state carries the review outcome: replay must not re-roll
+	// the review RNG.
+	p.emit(Mutation{Kind: MutAdCreated, Ad: adState(ad)})
 	return ad.snapshot(), nil
 }
 
@@ -309,5 +318,6 @@ func (p *Platform) AppealAd(id string) (*Ad, error) {
 	if p.reviewRNG.Float64() >= p.cfg.ReviewRejectProb {
 		ad.Status = StatusActive
 	}
+	p.emit(Mutation{Kind: MutAdAppealed, Appeal: &AppealState{AdID: ad.ID, Status: ad.Status}})
 	return ad.snapshot(), nil
 }
