@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race lint vet adlint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the same checks as the CI lint job: go vet plus the project's
+# custom analyzer suite (cmd/adlint).
+lint: vet adlint
+
+vet:
+	$(GO) vet ./...
+
+adlint:
+	$(GO) run ./cmd/adlint ./...

@@ -1,0 +1,74 @@
+// Command adlint runs the project's custom static-analysis suite over Go
+// packages and prints vet-style diagnostics.
+//
+// Usage:
+//
+//	go run ./cmd/adlint [-only detrand,walerr] [-list] [packages]
+//
+// With no package arguments it analyzes ./... from the current directory.
+// The process exits 1 when any diagnostic is reported and 2 on usage or
+// load errors, mirroring go vet. Findings are suppressed per-line with
+// //adlint:allow annotations; see the adlint package documentation for the
+// grammar and the invariant each analyzer enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/adaudit/impliedidentity/internal/analysis/adlint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: adlint [-only names] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range adlint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := adlint.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adlint:", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := adlint.Load(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adlint:", err)
+		os.Exit(2)
+	}
+
+	diags := adlint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "adlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -246,7 +246,11 @@ func selfHost(seed int64, numVoters, logRows, shedCap int, faultCfg faults.Confi
 			return nil, nil, nil, err
 		}
 		serverOpts = append(serverOpts, marketing.WithPersister(st))
-		closeStore = func() { _, _ = st.Close() }
+		closeStore = func() {
+			if _, err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "adload: closing store: %v\n", err)
+			}
+		}
 	}
 	srv, err := marketing.NewServer(plat, serverOpts...)
 	if err != nil {

@@ -199,8 +199,7 @@ func writeExtracts(dir string, fl, nc *voter.Registry) error {
 		return err
 	}
 	if err := voter.WriteFL(f, fl.Records); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return err
@@ -211,8 +210,7 @@ func writeExtracts(dir string, fl, nc *voter.Registry) error {
 		return err
 	}
 	if err := voter.WriteNC(g, nc.Records); err != nil {
-		g.Close()
-		return err
+		return errors.Join(err, g.Close())
 	}
 	if err := g.Close(); err != nil {
 		return err

@@ -47,8 +47,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	if err := adaudit.WriteDeliveriesCSV(f, res.Deliveries); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nPer-ad measurements written to employment_deliveries.csv")

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -91,9 +92,11 @@ func run() error {
 		return err
 	}
 	if err := voter.WriteFL(f, fl.Records); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
-	f.Close()
 	rf, err := os.Open(flPath)
 	if err != nil {
 		return err

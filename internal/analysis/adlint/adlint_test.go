@@ -1,0 +1,48 @@
+package adlint_test
+
+import (
+	"testing"
+
+	"github.com/adaudit/impliedidentity/internal/analysis/adlint"
+	"github.com/adaudit/impliedidentity/internal/analysis/analysistest"
+)
+
+// TestAnalyzers drives every analyzer over its fixture packages and checks
+// the reported diagnostics against the // want expectations in the fixture
+// sources. Each analyzer's fixture set includes at least one
+// false-positive regression (a compliant shape that must stay silent).
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		name     string
+		analyzer *adlint.Analyzer
+		fixtures []string
+	}{
+		{"detrand", adlint.Detrand, []string{"detrand/internal/platform", "detrand/clocked", "detrand/optin"}},
+		{"lockhold", adlint.Lockhold, []string{"lockhold/a"}},
+		{"ctxflow", adlint.Ctxflow, []string{"ctxflow/internal/marketing"}},
+		{"walerr", adlint.Walerr, []string{"walerr/internal/store", "walerr/caller"}},
+		{"obsreg", adlint.Obsreg, []string{"obsreg/a"}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			analysistest.Run(t, tt.analyzer, tt.fixtures...)
+		})
+	}
+}
+
+// TestByName covers the -only flag's resolver.
+func TestByName(t *testing.T) {
+	all, err := adlint.ByName("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	}
+	two, err := adlint.ByName("detrand, walerr")
+	if err != nil || len(two) != 2 || two[0].Name != "detrand" || two[1].Name != "walerr" {
+		t.Fatalf("ByName(detrand, walerr) = %v, err %v", two, err)
+	}
+	if _, err := adlint.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) succeeded; want error")
+	}
+}

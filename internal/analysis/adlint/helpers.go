@@ -1,0 +1,210 @@
+package adlint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// calleeOf resolves a call expression to the *types.Func it invokes:
+// package-level functions, methods (through selections), and
+// package-qualified references all resolve; builtins, conversions, and
+// calls through function-typed variables yield nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Not a selection: a package-qualified identifier (pkg.Func).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// pkgPathOf returns the defining package path of f, "" for nil or builtins.
+func pkgPathOf(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// pathHasSuffix reports whether import path p is exactly suffix or ends in
+// "/"+suffix — the matching rule that lets analyzer fixtures under
+// testdata/src mimic real packages by path shape.
+func pathHasSuffix(p, suffix string) bool {
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// isMethod reports whether f has a receiver.
+func isMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// recvNamed returns the named type of f's receiver (unwrapping a pointer),
+// or nil for functions and receivers of unnamed type.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// namedIs reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func namedIs(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// returnsError reports whether f's results include an error (anywhere in the
+// tuple).
+func returnsError(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exprText renders an expression back to source, for diagnostics.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// rootIdent walks a selector/index chain (s.f.g, x[i].y) down to its
+// leftmost identifier, nil when the chain roots in a call or literal.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object via Uses or Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// funcDecls yields every function declaration with a body across the pass's
+// files.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// paramOfType finds the first parameter of fd whose type matches pred,
+// returning its object (nil if absent or unnamed/blank).
+func paramOfType(info *types.Info, fd *ast.FuncDecl, pred func(types.Type) bool) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			if pred(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := node.(*ast.Ident); ok && objOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// constStringOf returns the constant string value of e and whether it is
+// constant.
+func constStringOf(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// enclosingScope pairs a reported position with its function declaration so
+// directives on the func line suppress the whole body.
+func scopePos(fd *ast.FuncDecl) token.Pos {
+	if fd == nil {
+		return token.NoPos
+	}
+	return fd.Pos()
+}

@@ -1,0 +1,163 @@
+// Package analysistest runs an adlint analyzer over fixture packages under
+// internal/analysis/testdata/src and checks its diagnostics against
+// expectations written in the fixtures themselves.
+//
+// An expectation is a trailing comment of the form
+//
+//	code() // want "regexp"
+//	code() // want "first regexp" "second regexp"
+//
+// Every diagnostic the analyzer reports must match a want-regexp on its
+// line, and every want-regexp must be matched by exactly one diagnostic —
+// both unexpected findings and missed findings fail the test. This mirrors
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// stdlib-only adlint loader so the suite needs no external modules.
+//
+// Fixture packages are named by path relative to testdata/src, e.g.
+// "detrand/internal/platform". Because they live under a testdata
+// directory, go's ./... wildcard never matches them — they are invisible
+// to builds and to cmd/adlint runs over the repo — but naming them
+// explicitly loads them as ordinary packages of this module, complete
+// with an import path whose suffix (internal/platform, internal/store, …)
+// triggers the path-scoped analyzer rules exactly like the real packages.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/adaudit/impliedidentity/internal/analysis/adlint"
+)
+
+// fixtureRoot is the location of analyzer fixtures relative to the module
+// root.
+const fixtureRoot = "internal/analysis/testdata/src"
+
+// Run loads each fixture package, applies the analyzer, and compares its
+// diagnostics against the // want expectations in the fixture sources.
+func Run(t *testing.T, analyzer *adlint.Analyzer, fixtures ...string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	patterns := make([]string, len(fixtures))
+	for i, fx := range fixtures {
+		patterns[i] = "./" + filepath.ToSlash(filepath.Join(fixtureRoot, fx))
+	}
+	pkgs, err := adlint.Load(root, patterns)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixtures %v: %v", fixtures, err)
+	}
+	diags := adlint.Run(pkgs, []*adlint.Analyzer{analyzer})
+
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	// Match diagnostics against expectations at the same file:line.
+	for _, d := range diags {
+		key := posKey(d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s",
+				relPath(root, d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matching %q", relKey(root, key), w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted regexps after a `want` marker. Regexps are
+// plain double-quoted Go strings without embedded escapes beyond \" — the
+// fixture convention keeps patterns simple.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans every fixture file's comments for want expectations.
+func collectWants(pkgs []*adlint.Package) (map[string][]*want, error) {
+	wants := map[string][]*want{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+						pat := strings.ReplaceAll(q[1], `\"`, `"`)
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v",
+								pos.Filename, pos.Line, pat, err)
+						}
+						key := posKey(pos.Filename, pos.Line)
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func posKey(filename string, line int) string {
+	return fmt.Sprintf("%s:%d", filename, line)
+}
+
+func relPath(root, p string) string {
+	if r, err := filepath.Rel(root, p); err == nil {
+		return r
+	}
+	return p
+}
+
+func relKey(root, key string) string {
+	if i := strings.LastIndex(key, ":"); i >= 0 {
+		return relPath(root, key[:i]) + key[i:]
+	}
+	return key
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

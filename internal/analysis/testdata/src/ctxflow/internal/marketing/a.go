@@ -1,0 +1,52 @@
+// Package marketing is a ctxflow fixture; its import-path suffix applies
+// the dropped-context rule to exported functions and methods.
+package marketing
+
+import (
+	"context"
+	"net/http"
+)
+
+// Client is the fixture API surface.
+type Client struct{}
+
+// Fetch drops its context entirely.
+func (c *Client) Fetch(ctx context.Context, id string) error { // want "accepts a context.Context .ctx. but never uses it"
+	_ = id
+	return nil
+}
+
+// Deadline has a context but derives from Background instead.
+func Deadline(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(context.Background(), 0) // want "context.Background severs the cancellation chain; derive from the ctx parameter"
+	defer cancel()
+	_ = sub
+	return ctx.Err()
+}
+
+// Handle builds a fresh context instead of using the request's.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	ctx := context.TODO() // want "context.TODO severs the cancellation chain; derive from the request's r.Context"
+	_ = ctx
+}
+
+// Propagate forwards its context: the compliant shape and the
+// false-positive regression for this analyzer.
+func Propagate(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(ctx, 0)
+	defer cancel()
+	return sub.Err()
+}
+
+// helper is unexported: the dropped-context rule covers only the exported
+// API surface.
+func helper(ctx context.Context) int {
+	return 0
+}
+
+// Detach intentionally severs the chain: the audit task outlives the
+// request, and the annotation records that decision.
+func Detach(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() //adlint:allow ctxflow (audit task outlives the request)
+}

@@ -1,0 +1,76 @@
+// Package platform is a detrand fixture: its import-path suffix
+// internal/platform marks it determinism-critical.
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Tick draws from the wall clock and the global generator.
+func Tick() time.Duration {
+	start := time.Now() // want "wall-clock read time.Now"
+	n := rand.Intn(10)  // want "global rand.Intn"
+	_ = n
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+// Seeded uses the sanctioned constructor route: rand.New and rand.NewSource
+// are exempt because the caller supplies the seed.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Leak appends map keys in iteration order without sorting.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to \"out\" inside map iteration"
+	}
+	return out
+}
+
+// CollectSort is the repo idiom: collect in map order, then sort.
+func CollectSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Print emits elements in map order.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside map iteration"
+	}
+}
+
+// Send publishes elements in map order.
+func Send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+// Scratch appends to a loop-local slice: per-iteration scratch, not ordered
+// output.
+func Scratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// Allowed demonstrates the escape hatch for a justified wall-clock read.
+func Allowed() time.Time {
+	//adlint:allow detrand (boot banner only, not part of the replayed path)
+	return time.Now()
+}

@@ -1,0 +1,24 @@
+// Package optin opts into determinism checking with the file-level
+// directive; it also proves the injectable-Clock pattern is inherently
+// exempt (a method named Now never resolves to time.Now).
+//
+//adlint:deterministic
+package optin
+
+import "time"
+
+// Clock abstracts time for injection, mirroring marketing.Clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// Stamp reads through the injected clock: no diagnostic.
+func Stamp(c Clock) time.Time {
+	return c.Now()
+}
+
+// Bare reads the wall clock directly in an opted-in package.
+func Bare() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}

@@ -1,0 +1,34 @@
+// Package a exercises obsreg against the real metrics registry.
+package a
+
+import "github.com/adaudit/impliedidentity/internal/obs"
+
+const (
+	// MetricHits and friends follow the repo's constant-name discipline.
+	MetricHits   = "fixture.hits"
+	MetricDepth  = "fixture.depth"
+	MetricShared = "fixture.shared"
+	// MetricRoute carries the name|label separator in the constant prefix.
+	MetricRoute = "fixture.route|"
+)
+
+// Record uses constant names and the const|label idiom — no diagnostics;
+// these are the false-positive regressions for this analyzer.
+func Record(r *obs.Registry, route string) {
+	r.Counter(MetricHits).Inc()
+	r.Gauge(MetricDepth).Set(3)
+	r.Counter(MetricRoute + route).Inc()
+	r.Counter("fixture.req|" + route).Inc()
+	r.Counter(MetricHits + ".2xx|" + route).Inc()
+}
+
+// Dynamic builds the whole metric name at run time.
+func Dynamic(r *obs.Registry, name string) {
+	r.Counter(name).Inc() // want "dynamic metric name passed to Registry.Counter"
+}
+
+// Clash registers one name under two different kinds.
+func Clash(r *obs.Registry) {
+	r.Counter(MetricShared).Inc()
+	r.Gauge(MetricShared).Set(1) // want "registered as Gauge here but as Counter elsewhere"
+}

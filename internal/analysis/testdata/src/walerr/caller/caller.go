@@ -1,0 +1,47 @@
+// Package caller exercises walerr's cross-package rules: store-API errors
+// discarded by clients, and written handles closed without an error check.
+package caller
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/adaudit/impliedidentity/internal/analysis/testdata/src/walerr/internal/store"
+)
+
+// Checkpoint discards store-API errors from outside the store package.
+func Checkpoint(s *store.Store) {
+	_ = s.Snapshot() // want "error from Store.Snapshot discarded"
+	defer s.Close()  // want "error from Store.Close discarded"
+}
+
+// WriteReport writes through the handle and then drops the close error —
+// the last chance to see a buffered write failure.
+func WriteReport(path string, lines []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	f.Close() // want "error from f.Close discarded but f was written to"
+	return nil
+}
+
+// ReadReport closes a read-only handle: the false-positive regression —
+// best-effort close of an unwritten file is fine.
+func ReadReport(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -1,0 +1,42 @@
+// Package store is a walerr fixture; its import-path suffix marks it as
+// the durability subsystem, so discarded write-path errors are flagged and
+// its exported error-returning methods are protected API everywhere.
+package store
+
+import (
+	"bufio"
+	"os"
+)
+
+// Store is the fixture durability handle.
+type Store struct {
+	f *os.File
+}
+
+// Sync flushes to stable storage.
+func (s *Store) Sync() error { return s.f.Sync() }
+
+// Close releases the handle.
+func (s *Store) Close() error { return s.f.Close() }
+
+// Snapshot persists a point-in-time copy.
+func (s *Store) Snapshot() error { return nil }
+
+// appendRecord discards write-path errors three different ways.
+func (s *Store) appendRecord(w *bufio.Writer, rec []byte) {
+	_, _ = w.Write(rec) // want "error from w.Write discarded on the persistence path"
+	_ = w.Flush()       // want "error from w.Flush discarded on the persistence path"
+	defer s.f.Sync()    // want "error from s.f.Sync discarded on the persistence path"
+}
+
+// syncDir fsyncs the directory best-effort, mirroring the real WAL; the
+// annotation records the decision.
+func syncDir(path string) {
+	d, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	//adlint:allow walerr (directory fsync is best-effort by design)
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -118,6 +118,7 @@ type Runner struct {
 	cfg    Config
 	client *marketing.Client
 	reg    *obs.Registry
+	clock  marketing.Clock
 
 	completed atomic.Int64
 	failed    atomic.Int64
@@ -135,9 +136,17 @@ func New(cfg Config, client *marketing.Client) (*Runner, error) {
 	if len(cfg.Hashes) == 0 {
 		return nil, fmt.Errorf("loadgen: empty PII hash pool")
 	}
-	r := &Runner{cfg: cfg, client: client, reg: obs.NewRegistry()}
+	r := &Runner{cfg: cfg, client: client, reg: obs.NewRegistry(), clock: marketing.SystemClock}
 	client.SetMetrics(r.reg)
 	return r, nil
+}
+
+// SetClock replaces the wall clock used for latency measurement, letting
+// tests and deterministic replays drive the runner against a fake clock.
+func (r *Runner) SetClock(c marketing.Clock) {
+	if c != nil {
+		r.clock = c
+	}
 }
 
 // Metrics exposes the client-side registry (per-operation latency
@@ -146,9 +155,9 @@ func (r *Runner) Metrics() *obs.Registry { return r.reg }
 
 // observe times one API operation into the per-op histogram and counters.
 func (r *Runner) observe(op string, f func() error) error {
-	start := time.Now()
+	start := r.clock.Now()
 	err := f()
-	r.reg.Histogram("op.latency|" + op).Observe(time.Since(start))
+	r.reg.Histogram("op.latency|" + op).Observe(r.clock.Now().Sub(start))
 	r.reg.Counter("op.requests|" + op).Inc()
 	if err != nil {
 		r.reg.Counter("op.errors|" + op).Inc()
@@ -278,14 +287,14 @@ func (r *Runner) runOne(ctx context.Context, idx int) {
 // the context stops new work; in-flight API calls finish (the marketing API
 // has no streaming endpoints, so calls are short).
 func (r *Runner) Run(ctx context.Context) (*Report, error) {
-	start := time.Now()
+	start := r.clock.Now()
 	switch r.cfg.Mode {
 	case ModeClosed:
 		r.runClosed(ctx)
 	case ModeOpen:
 		r.runOpen(ctx)
 	}
-	return r.report(time.Since(start)), ctx.Err()
+	return r.report(r.clock.Now().Sub(start)), ctx.Err()
 }
 
 // runClosed drives a fixed worker pool over the scenario queue.

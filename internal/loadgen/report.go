@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -71,8 +72,7 @@ func (rep *Report) WriteFile(path string) error {
 		return err
 	}
 	if err := rep.WriteJSON(f); err != nil {
-		f.Close()
-		return fmt.Errorf("loadgen: writing report: %w", err)
+		return fmt.Errorf("loadgen: writing report: %w", errors.Join(err, f.Close()))
 	}
 	return f.Close()
 }

@@ -33,6 +33,12 @@ type realClock struct{}
 func (realClock) Now() time.Time        { return time.Now() }
 func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
 
+// SystemClock is the real wall clock, the default when nothing is injected.
+// Other packages that measure or pace time (the load generator) default to
+// it and accept a replacement, keeping every timing decision routable
+// through one injectable seam.
+var SystemClock Clock = realClock{}
+
 // Client-side metric names (recorded into the registry passed to
 // SetMetrics).
 const (

@@ -49,6 +49,7 @@ func writeSnapshot(dir string, snap *snapshotFile) (string, error) {
 	if err := writeFrame(w, payload); err == nil {
 		err = w.Flush()
 	} else {
+		//adlint:allow walerr (error path: the write error is already latched; this flush is a courtesy drain)
 		_ = w.Flush()
 	}
 	if err == nil {

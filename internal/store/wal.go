@@ -208,6 +208,7 @@ func readSegment(path string) (events []segmentEvent, goodEnd int64, stop error,
 // recovering from the previous snapshot.
 func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
+		//adlint:allow walerr (best-effort by contract: some filesystems reject directory fsync)
 		_ = d.Sync()
 		_ = d.Close()
 	}
