@@ -11,12 +11,19 @@ package adaudit
 // regenerates everything at paper-comparable scale.
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
 	"io"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
 	"github.com/adaudit/impliedidentity/internal/core"
 	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/image"
+	"github.com/adaudit/impliedidentity/internal/platform"
 	"github.com/adaudit/impliedidentity/internal/population"
 	"github.com/adaudit/impliedidentity/internal/voter"
 )
@@ -496,6 +503,143 @@ func BenchmarkAuctionDay(b *testing.B) {
 		if _, err := lab.RunFigure1(pipe, 15100+int64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Parallel delivery benches ------------------------------------------------
+
+var (
+	benchDelivOnce sync.Once
+	benchDelivPlat *platform.Platform
+	benchDelivCA   string
+)
+
+// benchDeliveryWorld builds a dedicated platform (review rejection off, so
+// every created ad is active) over the shared bench population, plus one
+// balanced custom audience, reused by every worker-count sub-benchmark.
+func benchDeliveryWorld(b *testing.B) (*platform.Platform, string) {
+	b.Helper()
+	lab, _ := benchWorld(b)
+	benchDelivOnce.Do(func() {
+		behave, err := population.NewBehavior(population.DefaultBehaviorConfig())
+		if err != nil {
+			panic(err)
+		}
+		cfg := platform.DefaultConfig(21001)
+		cfg.Training.LogRows = 12000
+		cfg.ReviewRejectProb = 0
+		p, err := platform.New(cfg, lab.Pop, behave)
+		if err != nil {
+			panic(err)
+		}
+		fl, nc := lab.BalancedSamples(60, 21002)
+		var hashes []string
+		for _, sample := range [][]voter.Record{fl, nc} {
+			for i := range sample {
+				r := &sample[i]
+				hashes = append(hashes, population.HashPII(r.FirstName, r.LastName, r.Address, r.ZIP))
+			}
+		}
+		ca, err := p.CreateCustomAudience("bench-delivery", hashes)
+		if err != nil {
+			panic(err)
+		}
+		benchDelivPlat, benchDelivCA = p, ca.ID
+	})
+	return benchDelivPlat, benchDelivCA
+}
+
+// benchDeliveryAdSet creates a fresh four-ad campaign (budgets far above the
+// market's spend ceiling, as in the differential suite's golden scenarios)
+// and returns the ad IDs in creation order.
+func benchDeliveryAdSet(b *testing.B, p *platform.Platform, caID string) []string {
+	b.Helper()
+	cmp, err := p.CreateCampaign("bench-delivery", platform.ObjectiveTraffic, platform.SpecialNone, 2019)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targeting := platform.Targeting{CustomAudienceIDs: []string{caID}}
+	ids := make([]string, 0, 4)
+	for _, prof := range []demo.Profile{
+		{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedAdult},
+		{Gender: demo.GenderMale, Race: demo.RaceBlack, Age: demo.ImpliedAdult},
+		{Gender: demo.GenderFemale, Race: demo.RaceWhite, Age: demo.ImpliedAdult},
+		{Gender: demo.GenderFemale, Race: demo.RaceBlack, Age: demo.ImpliedAdult},
+	} {
+		creative := platform.Creative{Image: image.FromProfile(prof), Headline: "h", LinkURL: "https://example.com"}
+		ad, err := p.CreateAd(cmp.ID, creative, targeting, 2_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, ad.ID)
+	}
+	return ids
+}
+
+// benchDeliveryDigest canonicalizes the ads' delivery reports (IDs
+// normalized to creation order, map cells sorted) and folds the SHA-256 into
+// a float-exact 32-bit value, reported as the `digest` metric so CI can
+// diff two runs' outputs straight from the -bench output.
+func benchDeliveryDigest(b *testing.B, p *platform.Platform, ids []string) float64 {
+	b.Helper()
+	h := sha256.New()
+	for i, id := range ids {
+		st, err := p.Insights(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Fprintf(h, "ad#%d|%d|%d|%d|%.6f|%v|", i, st.Impressions, st.Reach, st.Clicks, st.SpendCents, st.HourlySeries)
+		cells := make([]platform.BreakdownKey, 0, len(st.Breakdown))
+		for k := range st.Breakdown {
+			cells = append(cells, k)
+		}
+		sort.Slice(cells, func(a, c int) bool {
+			ka, kc := cells[a], cells[c]
+			if ka.Age != kc.Age {
+				return ka.Age < kc.Age
+			}
+			if ka.Gender != kc.Gender {
+				return ka.Gender < kc.Gender
+			}
+			return ka.Region < kc.Region
+		})
+		for _, k := range cells {
+			fmt.Fprintf(h, "%d/%d/%d=%d|", k.Age, k.Gender, k.Region, st.Breakdown[k])
+		}
+		races := make([]demo.Race, 0, len(st.RaceOracle))
+		for r := range st.RaceOracle {
+			races = append(races, r)
+		}
+		sort.Slice(races, func(a, c int) bool { return races[a] < races[c] })
+		for _, r := range races {
+			fmt.Fprintf(h, "r%d=%d|", r, st.RaceOracle[r])
+		}
+	}
+	sum := h.Sum(nil)
+	return float64(binary.BigEndian.Uint32(sum[:4]))
+}
+
+// BenchmarkDeliveryWorkers measures one full delivery day (fresh ad set per
+// iteration) at each shard count. The `digest` metric fingerprints the
+// delivery output: it must be identical between repeated runs at the same
+// worker count (the CI bench-smoke job enforces this), and workers=1 must
+// match the sequential engine by the differential suite's construction.
+func BenchmarkDeliveryWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p, caID := benchDeliveryWorld(b)
+			b.ResetTimer()
+			var digest float64
+			for i := 0; i < b.N; i++ {
+				ids := benchDeliveryAdSet(b, p, caID)
+				if err := p.RunDayWorkers(ids, 21500, workers); err != nil {
+					b.Fatal(err)
+				}
+				digest = benchDeliveryDigest(b, p, ids)
+			}
+			b.ReportMetric(digest, "digest")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
 	}
 }
 

@@ -73,6 +73,7 @@ func run(args []string, stdout io.Writer) error {
 	shedCap := fs.Int("shed-cap", marketing.DefaultServerLimits().MaxInFlight, "self-hosted server: max in-flight requests before shedding with 429 (0 disables)")
 	storeDir := fs.String("store-dir", "", "self-hosted server: durable state directory (empty serves from memory only)")
 	fsyncMode := fs.String("fsync", "always", "self-hosted server: WAL fsync discipline (always, interval, none); requires -store-dir")
+	deliveryWorkers := fs.Int("delivery-workers", 0, "delivery shard count sent with every deliver call (0 = server default, 1 = sequential oracle)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -141,15 +142,16 @@ func run(args []string, stdout io.Writer) error {
 		client.SetRetryPolicy(pol)
 	}
 	runner, err := loadgen.New(loadgen.Config{
-		Seed:           *seed,
-		Mode:           loadgen.Mode(*mode),
-		Workers:        *concurrency,
-		ArrivalRPS:     *rps,
-		Scenarios:      *scenarios,
-		AdsPerCampaign: *ads,
-		AudienceSize:   *audience,
-		InsightsPolls:  *polls,
-		Hashes:         hashes,
+		Seed:            *seed,
+		Mode:            loadgen.Mode(*mode),
+		Workers:         *concurrency,
+		ArrivalRPS:      *rps,
+		Scenarios:       *scenarios,
+		AdsPerCampaign:  *ads,
+		AudienceSize:    *audience,
+		InsightsPolls:   *polls,
+		Hashes:          hashes,
+		DeliveryWorkers: *deliveryWorkers,
 	}, client)
 	if err != nil {
 		return err
@@ -235,6 +237,8 @@ func selfHost(seed int64, numVoters, logRows, shedCap int, faultCfg faults.Confi
 	limits := marketing.DefaultServerLimits()
 	limits.MaxInFlight = shedCap
 	reg := obs.NewRegistry()
+	// Delivery-phase metrics share the registry the /metrics scrape reads.
+	plat.SetObserver(reg, nil)
 	serverOpts := []marketing.ServerOption{marketing.WithLimits(limits), marketing.WithRegistry(reg)}
 	closeStore := func() {}
 	if storeDir != "" {

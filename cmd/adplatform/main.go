@@ -57,6 +57,7 @@ func run(args []string) error {
 	storeDir := fs.String("store-dir", "", "durable state directory: WAL + snapshots, recovered on boot (empty disables durability)")
 	fsyncMode := fs.String("fsync", "always", "WAL fsync discipline: always, interval, or none")
 	snapshotEvery := fs.Int("snapshot-every", 5000, "write a snapshot and compact the WAL every N records (0 disables automatic snapshots)")
+	deliveryWorkers := fs.Int("delivery-workers", 1, "default delivery shard count for /v1/deliver (1 = sequential oracle engine; requests may override)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +100,7 @@ func run(args []string) error {
 	}
 	cfg := platform.DefaultConfig(*seed + 4)
 	cfg.Training.LogRows = *logRows
+	cfg.DeliveryWorkers = *deliveryWorkers
 	plat, err := platform.New(cfg, pop, behave)
 	if err != nil {
 		return err
@@ -106,6 +108,9 @@ func run(args []string) error {
 	limits := marketing.DefaultServerLimits()
 	limits.MaxInFlight = *shedCap
 	reg := obs.NewRegistry()
+	// Delivery-phase metrics (ticks/sec, auctions/sec, merge time) land in
+	// the same registry the HTTP middleware reports through GET /metrics.
+	plat.SetObserver(reg, nil)
 	serverOpts := []marketing.ServerOption{marketing.WithLimits(limits), marketing.WithRegistry(reg)}
 
 	// Durable state: recover the account from disk (the world itself is

@@ -85,6 +85,10 @@ type Config struct {
 	// Hashes is the PII hash pool audiences are drawn from. Required: the
 	// platform rejects targeting that matches no users.
 	Hashes []string
+	// DeliveryWorkers is passed through on every deliver call: the
+	// platform-side shard count for the parallel delivery engine. 0 defers
+	// to the server's configured default; 1 forces the sequential oracle.
+	DeliveryWorkers int
 }
 
 // withDefaults fills zero fields.
@@ -249,7 +253,7 @@ func (r *Runner) scenario(ctx context.Context, idx int) error {
 
 	deliverSeed := rng.Int63()
 	if err := r.observe(OpDeliver, func() error {
-		return r.client.Deliver(ctx, adIDs, deliverSeed)
+		return r.client.DeliverWorkers(ctx, adIDs, deliverSeed, r.cfg.DeliveryWorkers)
 	}); err != nil {
 		return err
 	}
@@ -359,6 +363,7 @@ func (r *Runner) report(wall time.Duration) *Report {
 		ScenariosFailed:    int(r.failed.Load()),
 		AdsPerCampaign:     r.cfg.AdsPerCampaign,
 		AudienceSize:       r.cfg.AudienceSize,
+		DeliveryWorkers:    r.cfg.DeliveryWorkers,
 		WallSeconds:        math.Round(wall.Seconds()*1000) / 1000,
 		Operations:         map[string]OpReport{},
 	}

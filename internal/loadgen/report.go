@@ -36,10 +36,13 @@ type Report struct {
 	ScenariosFailed    int     `json:"scenarios_failed"`
 	AdsPerCampaign     int     `json:"ads_per_campaign"`
 	AudienceSize       int     `json:"audience_size"`
-	WallSeconds        float64 `json:"wall_seconds"`
-	Requests           int64   `json:"requests"`
-	Errors             int64   `json:"errors"`
-	ThroughputRPS      float64 `json:"throughput_rps"`
+	// DeliveryWorkers is the per-request delivery shard count sent with
+	// every deliver call (0 = server default).
+	DeliveryWorkers int     `json:"delivery_workers,omitempty"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
 	// Retries counts client-side retry attempts beyond each call's first
 	// try; BreakerRejects counts calls refused outright by the client's
 	// open circuit breaker.

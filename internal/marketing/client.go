@@ -559,9 +559,17 @@ func (c *Client) GetAd(ctx context.Context, adID string) (*AdResponse, error) {
 	return &out, nil
 }
 
-// Deliver runs the listed ads for one simulated day.
+// Deliver runs the listed ads for one simulated day with the server's
+// default delivery worker count.
 func (c *Client) Deliver(ctx context.Context, adIDs []string, seed int64) error {
-	return c.do(ctx, http.MethodPost, "/v1/deliver", DeliverRequest{AdIDs: adIDs, Seed: seed}, nil)
+	return c.DeliverWorkers(ctx, adIDs, seed, 0)
+}
+
+// DeliverWorkers runs the listed ads for one simulated day with an explicit
+// delivery worker count (0 defers to the server's default, 1 is the
+// sequential oracle engine).
+func (c *Client) DeliverWorkers(ctx context.Context, adIDs []string, seed int64, workers int) error {
+	return c.do(ctx, http.MethodPost, "/v1/deliver", DeliverRequest{AdIDs: adIDs, Seed: seed, Workers: workers}, nil)
 }
 
 // Insights fetches the delivery report for an ad with the full

@@ -293,7 +293,11 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	err := s.p.RunDay(req.AdIDs, req.Seed)
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("workers must be non-negative, got %d", req.Workers))
+		return
+	}
+	err := s.p.RunDayWorkers(req.AdIDs, req.Seed, req.Workers)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -140,6 +140,11 @@ type AdResponse struct {
 type DeliverRequest struct {
 	AdIDs []string `json:"ad_ids"`
 	Seed  int64    `json:"seed"`
+	// Workers selects the delivery engine's shard count. 0 (the default,
+	// and what older clients send) defers to the server's configured
+	// default; 1 forces the sequential oracle engine. Delivery output is
+	// deterministic for a fixed (seed, workers) pair.
+	Workers int `json:"workers,omitempty"`
 }
 
 // DeliverResponse acknowledges the run.

@@ -1,0 +1,21 @@
+package obs
+
+import "time"
+
+// Clock abstracts wall time so that packages under the determinism lint
+// (the delivery engine in particular) can be instrumented without calling
+// time.Now directly: the clock arrives by injection, tests can substitute a
+// fake, and timing stays observational — it never feeds back into seeded
+// computation.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time        { return time.Now() }
+func (systemClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// SystemClock is the real wall clock.
+var SystemClock Clock = systemClock{}

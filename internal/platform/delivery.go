@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"github.com/adaudit/impliedidentity/internal/demo"
 	"github.com/adaudit/impliedidentity/internal/population"
@@ -41,10 +42,26 @@ type AdStats struct {
 	RaceOracle map[demo.Race]int
 }
 
+// clone deep-copies the stats, maps and series included, so callers can
+// never reach the engine's live accounting through a returned report.
+func (s *AdStats) clone() *AdStats {
+	cp := *s
+	cp.Breakdown = make(map[BreakdownKey]int, len(s.Breakdown))
+	for k, v := range s.Breakdown {
+		cp.Breakdown[k] = v
+	}
+	cp.RaceOracle = make(map[demo.Race]int, len(s.RaceOracle))
+	for k, v := range s.RaceOracle {
+		cp.RaceOracle[k] = v
+	}
+	cp.HourlySeries = append([]int(nil), s.HourlySeries...)
+	return &cp
+}
+
 // Insights returns the delivery report for an ad. It fails for ads that
-// have not delivered yet. The returned stats are frozen: a completed ad
-// cannot be delivered again, and RunDay holds the write lock for the whole
-// simulated day, so once Insights succeeds the object never mutates.
+// have not delivered yet. The returned stats are a deep copy: mutating the
+// report (its maps and series included) cannot corrupt the frozen record a
+// later Insights call reads.
 func (p *Platform) Insights(adID string) (*AdStats, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -52,18 +69,44 @@ func (p *Platform) Insights(adID string) (*AdStats, error) {
 	if !ok {
 		return nil, fmt.Errorf("platform: no delivery data for ad %q", adID)
 	}
-	return s, nil
+	return s.clone(), nil
 }
 
-// RunDay delivers all the given ads over one simulated 24-hour window. Per
-// the audit protocol (§3.2), ads launched together experience the same
-// running environment: one shared auction per ad slot. Ads must be Active;
-// rejected ads are skipped with their status preserved (the Appendix A
-// analysis depends on knowing which were rejected). After the run every
-// delivered ad is StatusCompleted and its insights are frozen.
+// maxDeliveryWorkers bounds the shard count so a wire-supplied worker count
+// cannot make the engine allocate absurd numbers of shards.
+const maxDeliveryWorkers = 64
+
+// RunDay delivers all the given ads over one simulated 24-hour window using
+// the configured default worker count (Config.DeliveryWorkers). Per the
+// audit protocol (§3.2), ads launched together experience the same running
+// environment: one shared auction per ad slot. Ads must be Active; rejected
+// ads are skipped with their status preserved (the Appendix A analysis
+// depends on knowing which were rejected). After the run every delivered ad
+// is StatusCompleted and its insights are frozen.
 func (p *Platform) RunDay(adIDs []string, seed int64) error {
+	return p.RunDayWorkers(adIDs, seed, 0)
+}
+
+// RunDayWorkers is RunDay with an explicit worker count. workers <= 0 falls
+// back to Config.DeliveryWorkers; an effective count of 1 runs the
+// sequential oracle engine, anything higher runs the sharded parallel
+// engine (see delivery_shard.go). Output is a pure function of (ads, seed,
+// effective worker count): repeated runs with the same inputs are
+// bit-identical, and workers=1 reproduces the historical sequential output
+// exactly. Different worker counts produce statistically equivalent but not
+// identical days, because each shard consumes its own RNG stream.
+func (p *Platform) RunDayWorkers(adIDs []string, seed int64, workers int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if workers <= 0 {
+		workers = p.cfg.DeliveryWorkers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > maxDeliveryWorkers {
+		workers = maxDeliveryWorkers
+	}
 	var active []*Ad
 	for _, id := range adIDs {
 		ad, err := p.adLocked(id)
@@ -82,12 +125,13 @@ func (p *Platform) RunDay(adIDs []string, seed int64) error {
 	if len(active) == 0 {
 		return fmt.Errorf("platform: no active ads to deliver")
 	}
-	rng := rand.New(rand.NewSource(seed))
 
-	// Index ads by targeted user and initialize per-run state.
+	// Index ads by targeted user and initialize per-run state. This setup is
+	// shared by both engines and consumes no randomness.
 	adsByUser := map[int][]*Ad{}
-	for _, ad := range active {
+	for i, ad := range active {
 		ad.spent = 0
+		ad.runIdx = i
 		// Start the effective bid so that bid × (typical optimization term)
 		// lands near the competing demand level; the pacing controller
 		// refines from there. Without this, reach-optimized ads (term = 1)
@@ -95,9 +139,10 @@ func (p *Platform) RunDay(adIDs []string, seed int64) error {
 		meanTerm := p.meanOptimizationTerm(ad)
 		ad.pacing = math.Min(math.Max(2*p.cfg.CompetitionBase/meanTerm, 0.005), 50)
 		p.stats[ad.ID] = &AdStats{
-			AdID:       ad.ID,
-			Breakdown:  map[BreakdownKey]int{},
-			RaceOracle: map[demo.Race]int{},
+			AdID:         ad.ID,
+			Breakdown:    map[BreakdownKey]int{},
+			RaceOracle:   map[demo.Race]int{},
+			HourlySeries: make([]int, p.cfg.Ticks),
 		}
 		for _, idx := range ad.audience {
 			adsByUser[idx] = append(adsByUser[idx], ad)
@@ -109,14 +154,51 @@ func (p *Platform) RunDay(adIDs []string, seed int64) error {
 	}
 	// Deterministic base order before the per-tick seeded shuffles.
 	sort.Ints(users)
+
+	start := p.deliveryClockNow()
+	var auctions int64
+	var merge time.Duration
+	if workers == 1 {
+		auctions = p.runDaySequential(active, adsByUser, users, seed)
+	} else {
+		auctions, merge = p.runDaySharded(active, adsByUser, users, seed, workers)
+	}
+
+	var impressions int64
+	for _, ad := range active {
+		ad.Status = StatusCompleted
+		st := p.stats[ad.ID]
+		st.SpendCents = math.Round(ad.spent * 100)
+		impressions += int64(st.Impressions)
+	}
+	// One mutation commits the whole day: the completed ads and their frozen
+	// insights, so a recovered platform reports the day identically.
+	del := &DeliveryState{Seed: seed, Workers: workers}
+	for _, ad := range active {
+		del.Completed = append(del.Completed, ad.ID)
+		del.Stats = append(del.Stats, *adStatsState(p.stats[ad.ID]))
+	}
+	sort.Strings(del.Completed)
+	sort.Slice(del.Stats, func(i, j int) bool { return del.Stats[i].AdID < del.Stats[j].AdID })
+	p.emit(Mutation{Kind: MutDayDelivered, Delivery: del})
+	p.observeDelivery(start, int64(p.cfg.Ticks), auctions, impressions, workers, merge)
+	return nil
+}
+
+// runDaySequential is the single-threaded oracle engine: one RNG stream,
+// auctions applied to shared state in user-visit order. Its output defines
+// the determinism contract every parallel configuration is differentially
+// tested against, so its draw order must never change.
+func (p *Platform) runDaySequential(active []*Ad, adsByUser map[int][]*Ad, users []int, seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
 	reached := make(map[string]map[int]struct{}, len(active))
 	frequency := make(map[string]map[int]int, len(active))
 	for _, ad := range active {
 		reached[ad.ID] = map[int]struct{}{}
 		frequency[ad.ID] = map[int]int{}
-		p.stats[ad.ID].HourlySeries = make([]int, p.cfg.Ticks)
 	}
 
+	var auctions int64
 	ticks := p.cfg.Ticks
 	for tick := 0; tick < ticks; tick++ {
 		// Budget pacing: adjust each ad's effective bid toward on-schedule
@@ -151,28 +233,16 @@ func (p *Platform) RunDay(adIDs []string, seed int64) error {
 		for _, idx := range users {
 			u := &p.pop.Users[idx]
 			sessions := poisson(rng, u.Activity/float64(ticks))
+			auctions += int64(sessions)
 			for s := 0; s < sessions; s++ {
 				p.auction(rng, u, adsByUser[idx], tick, reached, frequency)
 			}
 		}
 	}
 	for _, ad := range active {
-		ad.Status = StatusCompleted
-		st := p.stats[ad.ID]
-		st.Reach = len(reached[ad.ID])
-		st.SpendCents = math.Round(ad.spent * 100)
+		p.stats[ad.ID].Reach = len(reached[ad.ID])
 	}
-	// One mutation commits the whole day: the completed ads and their frozen
-	// insights, so a recovered platform reports the day identically.
-	del := &DeliveryState{Seed: seed}
-	for _, ad := range active {
-		del.Completed = append(del.Completed, ad.ID)
-		del.Stats = append(del.Stats, *adStatsState(p.stats[ad.ID]))
-	}
-	sort.Strings(del.Completed)
-	sort.Slice(del.Stats, func(i, j int) bool { return del.Stats[i].AdID < del.Stats[j].AdID })
-	p.emit(Mutation{Kind: MutDayDelivered, Delivery: del})
-	return nil
+	return auctions
 }
 
 // auction runs one ad slot: the eligible audit ads compete with each other
@@ -212,6 +282,14 @@ func (p *Platform) auction(rng *rand.Rand, u *population.User, eligible []*Ad, t
 		return
 	}
 	price := math.Max(second, bg)
+	// Overspend clamp: never charge past the daily budget, making
+	// SpendCents ≤ DailyBudgetCents an engine invariant. The clamp cannot
+	// change any auction outcome or RNG draw: it only truncates the single
+	// budget-crossing price, and after that charge the ad is ineligible
+	// (spent >= budget) whether or not the charge was clamped.
+	if budget := float64(winner.DailyBudgetCents) / 100; winner.spent+price > budget {
+		price = budget - winner.spent
+	}
 	winner.spent += price
 	winner.tickSpent += price
 	st := p.stats[winner.ID]

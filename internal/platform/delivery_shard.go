@@ -1,0 +1,296 @@
+package platform
+
+// The sharded parallel delivery engine. The audience is partitioned into
+// `workers` deterministic shards; each shard runs its tick's auctions on its
+// own goroutine with its own RNG stream and thread-local accumulators, and
+// everything shared is committed single-threaded at the tick barrier in
+// fixed shard order. That makes the day's output a pure function of
+// (ads, seed, worker count): repeated runs are bit-identical.
+//
+// Budget pacing is two-phase per tick:
+//
+//	phase 1 (single-threaded): the pacing controller updates every ad's
+//	  effective bid from the *committed* spend — exactly the sequential
+//	  controller's rule — and slices the tick's spend cap per shard;
+//	phase 2 (parallel): shards bid against that frozen tick-start snapshot
+//	  (ad.pacing / ad.spent / the per-shard cap never move mid-tick),
+//	  accruing spend and stats locally;
+//	phase 3 (single-threaded): shard spend commits into ad.spent in shard
+//	  order — fixed floating-point addition order — clamped so the daily
+//	  budget is never exceeded, and buffered served-log rows flush in the
+//	  same order.
+//
+// Per-user state (frequency caps, reach) needs no synchronization at all:
+// a user lives in exactly one shard, so the shard's local maps are the
+// authoritative ones.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/population"
+)
+
+// shardSeed derives one shard's RNG seed from the day seed with a
+// splitmix64-style mixer, giving well-separated streams even for adjacent
+// (seed, shard) pairs. The mapping depends only on its inputs, so a fixed
+// (seed, workers) pair always reproduces the same streams.
+func shardSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(shard+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// shardAcc is one ad's thread-local accumulator inside one shard. Spend is
+// drained at every tick barrier; the counting stats merge once at day end.
+type shardAcc struct {
+	tickSpent   float64 // spend accrued this tick, committed at the barrier
+	impressions int
+	clicks      int
+	hourly      []int
+	breakdown   map[BreakdownKey]int
+	race        map[demo.Race]int
+	reached     map[int]struct{}
+	frequency   map[int]int
+}
+
+// deliveryShard owns a disjoint slice of the audience, a private RNG stream
+// that persists across ticks, and per-ad accumulators.
+type deliveryShard struct {
+	rng      *rand.Rand
+	users    []int
+	accs     []*shardAcc // indexed by Ad.runIdx
+	served   []servedRow // buffered rows, flushed at the tick barrier
+	auctions int64
+}
+
+// runDaySharded runs the parallel engine. The caller holds p.mu for writing
+// for the whole day, same as the sequential engine; parallelism lives
+// entirely inside this call. Returns the auction count and the total time
+// spent in barrier commits (zero unless an observer is installed).
+func (p *Platform) runDaySharded(active []*Ad, adsByUser map[int][]*Ad, users []int, seed int64, workers int) (int64, time.Duration) {
+	ticks := p.cfg.Ticks
+	shards := make([]*deliveryShard, workers)
+	for s := range shards {
+		sh := &deliveryShard{
+			rng:  rand.New(rand.NewSource(shardSeed(seed, s))),
+			accs: make([]*shardAcc, len(active)),
+		}
+		for i := range active {
+			sh.accs[i] = &shardAcc{
+				hourly:    make([]int, ticks),
+				breakdown: map[BreakdownKey]int{},
+				race:      map[demo.Race]int{},
+				reached:   map[int]struct{}{},
+				frequency: map[int]int{},
+			}
+		}
+		shards[s] = sh
+	}
+	// Round-robin partition of the sorted user list: deterministic, and it
+	// spreads every demographic stratum across shards instead of giving one
+	// shard a contiguous (correlated) block.
+	for i, idx := range users {
+		sh := shards[i%workers]
+		sh.users = append(sh.users, idx)
+	}
+
+	var mergeTime time.Duration
+	timed := p.obsReg != nil
+	shardCaps := make([]float64, len(active))
+	for tick := 0; tick < ticks; tick++ {
+		// Phase 1: pacing controller over committed spend. Identical update
+		// rule to the sequential engine's; only the tick cap is additionally
+		// sliced per shard.
+		elapsed := float64(tick) / float64(ticks)
+		for i, ad := range active {
+			budget := float64(ad.DailyBudgetCents) / 100
+			target := budget * elapsed
+			switch {
+			case ad.spent >= budget:
+				ad.pacing = 0 // budget exhausted
+			case ad.spent > target:
+				ad.pacing *= 0.82
+			default:
+				ad.pacing *= 1.25
+			}
+			ad.pacing = math.Min(ad.pacing, 50)
+			ad.tickSpent = 0
+			ad.tickCap = 2 * budget / float64(ticks)
+			if p.cfg.GreedyPacing {
+				// A5 ablation: no pacing control at all — bid high until
+				// the budget runs out.
+				ad.pacing = 5
+				ad.tickCap = budget
+			}
+			// Each shard may spend at most a 1/workers slice of what the ad
+			// can still spend this tick, so the committed total overruns the
+			// tick cap by at most one winning price per shard; the commit
+			// clamp below absorbs any overrun of the daily budget itself.
+			remaining := math.Min(ad.tickCap, budget-ad.spent)
+			if remaining < 0 {
+				remaining = 0
+			}
+			shardCaps[i] = remaining / float64(workers)
+		}
+
+		// Phase 2: the parallel fan-out. Shards only read the shared state
+		// (ad bid fields frozen until the barrier, the population, the read-
+		// only adsByUser index) and write their own accumulators.
+		p.runShardTick(shards, adsByUser, tick, shardCaps)
+
+		// Phase 3: barrier commit in fixed shard order.
+		var commitStart time.Time
+		if timed {
+			commitStart = p.clock.Now()
+		}
+		for _, sh := range shards {
+			for i, acc := range sh.accs {
+				if acc.tickSpent == 0 {
+					continue
+				}
+				ad := active[i]
+				budget := float64(ad.DailyBudgetCents) / 100
+				spend := acc.tickSpent
+				// Same overspend clamp as the sequential engine's, applied
+				// to the shard batch: the committed day never exceeds the
+				// daily budget.
+				if ad.spent+spend > budget {
+					spend = budget - ad.spent
+				}
+				ad.spent += spend
+				acc.tickSpent = 0
+			}
+			// Serve-log rows flush in shard order, so the retraining buffer
+			// (and its maxServedLog truncation point) is deterministic.
+			for _, row := range sh.served {
+				p.recordServed(row.userIdx, row.ad, row.clicked)
+			}
+			sh.served = sh.served[:0]
+		}
+		if timed {
+			mergeTime += p.clock.Now().Sub(commitStart)
+		}
+	}
+
+	// Day-end merge, fixed shard order. Map-to-map addition is insensitive
+	// to Go's randomized map iteration order, so the merged counts are
+	// deterministic even though the per-shard map walks are not.
+	var auctions int64
+	for _, sh := range shards {
+		auctions += sh.auctions
+		for i, acc := range sh.accs {
+			st := p.stats[active[i].ID]
+			st.Impressions += acc.impressions
+			st.Clicks += acc.clicks
+			st.Reach += len(acc.reached) // shards own disjoint users
+			for t, v := range acc.hourly {
+				st.HourlySeries[t] += v
+			}
+			for k, v := range acc.breakdown {
+				st.Breakdown[k] += v
+			}
+			for r, v := range acc.race {
+				st.RaceOracle[r] += v
+			}
+		}
+	}
+	return auctions, mergeTime
+}
+
+// runShardTick fans one tick out to a goroutine per shard and waits for all
+// of them. The WaitGroup wait is the tick barrier of the two-phase pacing
+// design: no shared mutation happens until every shard has parked, so the
+// commit phase that follows needs no locking at all.
+func (p *Platform) runShardTick(shards []*deliveryShard, adsByUser map[int][]*Ad, tick int, shardCaps []float64) {
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *deliveryShard) {
+			defer wg.Done()
+			p.shardTick(sh, adsByUser, tick, shardCaps)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// shardTick runs one shard's slice of a tick: shuffle the shard's users
+// with the shard RNG, then run each user's sessions.
+func (p *Platform) shardTick(sh *deliveryShard, adsByUser map[int][]*Ad, tick int, shardCaps []float64) {
+	rng := sh.rng
+	users := sh.users
+	rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+	ticks := float64(p.cfg.Ticks)
+	for _, idx := range users {
+		u := &p.pop.Users[idx]
+		sessions := poisson(rng, u.Activity/ticks)
+		sh.auctions += int64(sessions)
+		for s := 0; s < sessions; s++ {
+			p.shardAuction(sh, u, adsByUser[idx], tick, shardCaps)
+		}
+	}
+}
+
+// shardAuction is the sharded counterpart of auction: same bidding,
+// second-price, frequency-cap, and click semantics, but spend and stats
+// accrue into the shard's accumulators and the tick cap is the shard's
+// slice of it.
+func (p *Platform) shardAuction(sh *deliveryShard, u *population.User, eligible []*Ad, tick int, shardCaps []float64) {
+	rng := sh.rng
+	bg := p.backgroundBid(rng, u)
+	var winner *Ad
+	best, second := bg, 0.0
+	// Random starting offset so exact-tie auctions don't systematically
+	// favor earlier-created ads.
+	off := 0
+	if len(eligible) > 1 {
+		off = rng.Intn(len(eligible))
+	}
+	for k := range eligible {
+		ad := eligible[(k+off)%len(eligible)]
+		acc := sh.accs[ad.runIdx]
+		if ad.pacing <= 0 || ad.spent >= float64(ad.DailyBudgetCents)/100 || acc.tickSpent >= shardCaps[ad.runIdx] {
+			continue
+		}
+		if p.cfg.FrequencyCap > 0 && acc.frequency[u.ID] >= p.cfg.FrequencyCap {
+			continue
+		}
+		value := ad.pacing*p.optimizationTerm(ad, u) + p.cfg.Quality
+		if p.cfg.ValueNoise > 0 {
+			sigma := p.cfg.ValueNoise
+			value *= math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+		}
+		if value > best {
+			second = best
+			best = value
+			winner = ad
+		} else if value > second {
+			second = value
+		}
+	}
+	if winner == nil {
+		return
+	}
+	price := math.Max(second, bg)
+	acc := sh.accs[winner.runIdx]
+	acc.tickSpent += price
+	acc.impressions++
+	acc.hourly[tick]++
+	acc.breakdown[BreakdownKey{
+		Age:    u.AgeBucket(),
+		Gender: u.Gender,
+		Region: p.deliveryRegion(rng, u),
+	}]++
+	acc.race[u.Race]++
+	acc.reached[u.ID] = struct{}{}
+	acc.frequency[u.ID]++
+	clicked := rng.Float64() < p.behave.ClickProb(u, winner.Creative.Image)
+	if clicked {
+		acc.clicks++
+	}
+	sh.served = append(sh.served, servedRow{userIdx: u.ID, ad: winner, clicked: clicked})
+}

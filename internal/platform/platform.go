@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/adaudit/impliedidentity/internal/face"
+	"github.com/adaudit/impliedidentity/internal/obs"
 	"github.com/adaudit/impliedidentity/internal/population"
 )
 
@@ -59,6 +60,13 @@ type Config struct {
 	// VisionSeed seeds the platform's own content classifier training,
 	// independent of any classifier the auditor uses.
 	VisionSeed int64
+	// DeliveryWorkers is the default worker count for RunDay: the number of
+	// deterministic user shards delivery is partitioned across. 0 or 1 runs
+	// the sequential oracle engine; higher counts run the sharded parallel
+	// engine. Output is bit-identical across runs for a fixed worker count;
+	// different counts give statistically equivalent but distinct days
+	// (each shard has its own seeded RNG stream). See DESIGN.md.
+	DeliveryWorkers int
 }
 
 // DefaultConfig returns the standard simulation configuration.
@@ -109,6 +117,12 @@ type Platform struct {
 	// hook receives every committed mutation (see state.go); invoked while
 	// p.mu is held for writing, so emission order is application order.
 	hook MutationHook
+
+	// obsReg/clock instrument the delivery phase (see metrics.go). Both are
+	// nil/unset until SetObserver; instrumentation is strictly observational
+	// and never influences delivery output.
+	obsReg *obs.Registry
+	clock  obs.Clock
 }
 
 // New builds a platform over a user population: it trains the platform's

@@ -103,7 +103,12 @@ type AppealState struct {
 // DeliveryState records one committed delivery day: which ads completed and
 // their frozen insights.
 type DeliveryState struct {
-	Seed      int64          `json:"seed"`
+	Seed int64 `json:"seed"`
+	// Workers is the effective delivery worker count the day ran with.
+	// Replay applies the recorded stats rather than re-running the day, so
+	// the field is informational, but it lets an auditor confirm which
+	// engine configuration produced a recorded day.
+	Workers   int            `json:"workers,omitempty"`
 	Completed []string       `json:"completed"`
 	Stats     []AdStatsState `json:"stats"`
 }
