@@ -141,6 +141,13 @@ func run(args []string, stdout io.Writer) error {
 		pol.MaxAttempts = *retries
 		client.SetRetryPolicy(pol)
 	}
+	// A router target answers GET /v1/topology; a single adplatform 404s it.
+	// Recording the shard count keeps multi-process bench reports
+	// distinguishable from single-process ones.
+	shardCount := probeTopology(baseURL)
+	if shardCount > 0 {
+		fmt.Fprintf(stdout, "target is a router over %d shard(s)\n", shardCount)
+	}
 	runner, err := loadgen.New(loadgen.Config{
 		Seed:            *seed,
 		Mode:            loadgen.Mode(*mode),
@@ -152,6 +159,7 @@ func run(args []string, stdout io.Writer) error {
 		InsightsPolls:   *polls,
 		Hashes:          hashes,
 		DeliveryWorkers: *deliveryWorkers,
+		ShardCount:      shardCount,
 	}, client)
 	if err != nil {
 		return err
@@ -297,6 +305,28 @@ func hashesFromRecords(records []voter.Record) []string {
 		hashes = append(hashes, population.HashPII(r.FirstName, r.LastName, r.Address, r.ZIP))
 	}
 	return hashes
+}
+
+// probeTopology asks the target whether it is a router (GET /v1/topology)
+// and returns its shard count; 0 means a single-process target (or an
+// unreachable one — the load run itself will surface that).
+func probeTopology(baseURL string) int {
+	httpClient := &http.Client{Timeout: 5 * time.Second}
+	resp, err := httpClient.Get(baseURL + "/v1/topology")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	var topo struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		return 0
+	}
+	return topo.Shards
 }
 
 // fetchMetrics scrapes the target's GET /metrics endpoint.

@@ -58,6 +58,7 @@ func run(args []string) error {
 	fsyncMode := fs.String("fsync", "always", "WAL fsync discipline: always, interval, or none")
 	snapshotEvery := fs.Int("snapshot-every", 5000, "write a snapshot and compact the WAL every N records (0 disables automatic snapshots)")
 	deliveryWorkers := fs.Int("delivery-workers", 1, "default delivery shard count for /v1/deliver (1 = sequential oracle engine; requests may override)")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for draining in-flight requests (must exceed the longest /v1/deliver day)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -170,24 +171,35 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	stop()
-	fmt.Println("signal received, draining in-flight requests...")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	fmt.Printf("signal received, draining in-flight requests (budget %s)...\n", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	var drainErr error
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+		// The drain budget ran out — most likely a delivery day still in
+		// flight. Cut the remaining connections, but keep going: the store
+		// must still flush and snapshot whatever was acked, or the next boot
+		// pays a full WAL replay (and a mid-deliver session is in-memory
+		// only, so nothing durable is lost by cutting it).
+		drainErr = fmt.Errorf("drain timed out after %s (in-flight requests cut): %w", *drainTimeout, err)
+		_ = httpSrv.Close()
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return err
+		drainErr = errors.Join(drainErr, err)
 	}
 	if st != nil {
-		// In-flight requests are drained, so the WAL tail is final: flush it,
-		// write the shutdown snapshot, and log where a restart will resume.
+		// In-flight requests are drained (or cut), so the WAL tail is final:
+		// flush it, write the shutdown snapshot, and log where a restart will
+		// resume.
 		rp, err := st.Close()
 		if err != nil {
-			return fmt.Errorf("closing store: %w", err)
+			return errors.Join(drainErr, fmt.Errorf("closing store: %w", err))
 		}
 		fmt.Printf("store closed: restart recovers from snapshot seq %d + %d WAL records\n",
 			rp.SnapshotSeq, rp.TailRecords)
+	}
+	if drainErr != nil {
+		return drainErr
 	}
 	fmt.Println("final serving metrics:")
 	fmt.Print(srv.Metrics().Snapshot().String())

@@ -1,0 +1,149 @@
+// Command adrouter serves the marketing API over a fleet of adplatform shard
+// backends. It is the multi-process face of the platform: advertiser tooling
+// (cmd/adload, cmd/adaudit, curl) points at the router exactly as it would at
+// a single adplatform, while CRUD fans out to every shard and delivery days
+// run the cross-shard two-phase budget protocol. For a fixed (world seed,
+// delivery seed, shard count) the fleet's output is byte-identical to the
+// single-process engine with the same worker count.
+//
+// Every backend must be built with the SAME world flags (-seed, -voters,
+// -logrows); the router asserts cross-shard agreement on every response and
+// fails loudly on divergence.
+//
+// Usage:
+//
+//	adrouter -addr 127.0.0.1:8400 \
+//	  -shards http://127.0.0.1:8401,http://127.0.0.1:8402
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/adaudit/impliedidentity/internal/coordinator"
+	"github.com/adaudit/impliedidentity/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adrouter", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8400", "listen address")
+	shards := fs.String("shards", "", "comma-separated shard backend base URLs, in shard order (required)")
+	maxFanout := fs.Int("max-fanout", 0, "max concurrent backend calls per fan-out (0 = all shards at once)")
+	dayRetries := fs.Int("day-retries", 5, "delivery-day attempts before giving up (a shard crash mid-day costs one attempt)")
+	dayBackoff := fs.Duration("day-backoff", 2*time.Second, "initial wait between delivery-day attempts (doubles, capped at 8x)")
+	waitReady := fs.Duration("wait-ready", 30*time.Second, "how long to wait for every backend's /healthz at startup (0 skips the check)")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for draining in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backends := splitBackends(*shards)
+	if len(backends) == 0 {
+		return fmt.Errorf("-shards is required (comma-separated backend URLs)")
+	}
+
+	reg := obs.NewRegistry()
+	coord, err := coordinator.New(coordinator.Config{
+		Backends:    backends,
+		MaxFanout:   *maxFanout,
+		DayAttempts: *dayRetries,
+		DayBackoff:  *dayBackoff,
+	}, reg)
+	if err != nil {
+		return err
+	}
+	if *waitReady > 0 {
+		if err := waitForBackends(backends, *waitReady); err != nil {
+			return err
+		}
+	}
+	router, err := coordinator.NewRouter(coord, reg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("router listening at http://%s over %d shard(s); topology at /v1/topology, metrics at /metrics\n",
+		ln.Addr(), coord.Shards())
+	for i, u := range backends {
+		fmt.Printf("  shard%d -> %s\n", i, u)
+	}
+	httpSrv := &http.Server{Handler: router.Handler(), ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Printf("signal received, draining in-flight requests (budget %s)...\n", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	var drainErr error
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		drainErr = fmt.Errorf("drain timed out after %s: %w", *drainTimeout, err)
+		_ = httpSrv.Close()
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		drainErr = errors.Join(drainErr, err)
+	}
+	fmt.Println("final router metrics:")
+	fmt.Print(reg.Snapshot().String())
+	return drainErr
+}
+
+func splitBackends(raw string) []string {
+	var out []string
+	for _, part := range strings.Split(raw, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
+
+// waitForBackends polls every backend's liveness endpoint until all answer or
+// the budget runs out, so the router can start before (or while) its fleet
+// does — convenient for process supervisors that start everything at once.
+func waitForBackends(backends []string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, u := range backends {
+		for {
+			resp, err := client.Get(u + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("backend %s not ready within %s", u, budget)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	return nil
+}

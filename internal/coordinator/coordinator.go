@@ -1,0 +1,393 @@
+// Package coordinator is the multi-process serving tier: a thin router that
+// fronts N independent adplatform shard backends and makes them behave as
+// one deterministic platform.
+//
+// Every backend holds the FULL world (the population is a deterministic
+// function of the world seed) and the full CRUD account state (mutations fan
+// out to all shards), but during a delivery day each backend auctions only
+// its own slice of the audience — position mod N over the globally sorted
+// eligible-user list, the same round-robin partition the in-process sharded
+// engine uses. The coordinator runs the pacing controller and the tick
+// barrier (platform.PacingController) over HTTP, so an N-shard coordinated
+// day is byte-identical to the single-process RunDayWorkers(workers=N) run,
+// and a 1-shard day reproduces the sequential oracle goldens.
+//
+// The coordinator holds no durable state of its own: backends recover
+// independently through their own WAL/snapshot stores, and an interrupted
+// delivery day is simply re-run — determinism makes the re-run
+// indistinguishable from an uninterrupted one.
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/adaudit/impliedidentity/internal/marketing"
+	"github.com/adaudit/impliedidentity/internal/obs"
+	"github.com/adaudit/impliedidentity/internal/platform"
+)
+
+// Config shapes a Coordinator.
+type Config struct {
+	// Backends are the shard base URLs, in shard order. Shard i of the
+	// delivery partition is Backends[i]; the order is part of the day's
+	// identity (it fixes the commit order), so give every coordinator of
+	// the same fleet the same order.
+	Backends []string
+	// MaxFanout bounds concurrent backend calls per scatter. 0 means
+	// "all shards at once".
+	MaxFanout int
+	// DayAttempts is how many times a delivery day is re-run from scratch
+	// after a shard failure before giving up. 0 defaults to 5.
+	DayAttempts int
+	// DayBackoff is the wait between day attempts, doubling per attempt
+	// (capped at 8x). 0 defaults to 2s.
+	DayBackoff time.Duration
+	// Clock injects time for the day-retry backoff; nil is the system
+	// clock.
+	Clock marketing.Clock
+}
+
+// shardConn is one backend: its resilient API client and its metric label.
+type shardConn struct {
+	index  int
+	url    string
+	client *marketing.Client
+	label  string
+}
+
+// Coordinator fans CRUD out to every shard and runs coordinated delivery
+// days. Mutations are serialized (one at a time across the fleet) so every
+// backend applies them in the same order and allocates the same object IDs —
+// cross-shard ID agreement is asserted on every response. Reads are
+// concurrent.
+type Coordinator struct {
+	cfg    Config
+	shards []*shardConn
+	reg    *obs.Registry
+	clock  marketing.Clock
+
+	// mu serializes mutating fan-outs and delivery days. Determinism needs
+	// identical mutation order on every backend; a thin coordinator buys it
+	// with a lock rather than a log.
+	mu     sync.Mutex
+	daySeq atomic.Uint64
+}
+
+// New builds a coordinator over the configured backends.
+func New(cfg Config, reg *obs.Registry) (*Coordinator, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("coordinator: no backends configured")
+	}
+	if cfg.DayAttempts <= 0 {
+		cfg.DayAttempts = 5
+	}
+	if cfg.DayBackoff <= 0 {
+		cfg.DayBackoff = 2 * time.Second
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = marketing.SystemClock
+	}
+	c := &Coordinator{cfg: cfg, reg: reg, clock: clock}
+	for i, u := range cfg.Backends {
+		cl, err := marketing.NewClient(u)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: backend %d: %w", i, err)
+		}
+		cl.SetMetrics(reg)
+		c.shards = append(c.shards, &shardConn{index: i, url: u, client: cl, label: fmt.Sprintf("shard%d", i)})
+	}
+	return c, nil
+}
+
+// Shards reports the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Backends reports the backend URLs in shard order.
+func (c *Coordinator) Backends() []string {
+	return append([]string(nil), c.cfg.Backends...)
+}
+
+// SetRetryPolicy applies one retry policy to every backend client.
+func (c *Coordinator) SetRetryPolicy(p marketing.RetryPolicy) {
+	for _, sc := range c.shards {
+		sc.client.SetRetryPolicy(p)
+	}
+}
+
+// scatter runs fn against every shard with bounded concurrency and waits
+// for all of them, recording per-shard request/error counts and latency.
+// It returns the first error in shard order (deterministic even when
+// several shards fail at once).
+func (c *Coordinator) scatter(ctx context.Context, op string, fn func(ctx context.Context, sc *shardConn) error) error {
+	limit := c.cfg.MaxFanout
+	if limit <= 0 || limit > len(c.shards) {
+		limit = len(c.shards)
+	}
+	sem := make(chan struct{}, limit)
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for _, sc := range c.shards {
+		wg.Add(1)
+		go func(sc *shardConn) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := c.clock.Now()
+			err := fn(ctx, sc)
+			c.reg.Histogram(MetricShardLatency + "|" + sc.label).Observe(c.clock.Now().Sub(start))
+			c.reg.Counter(MetricShardRequests + "|" + sc.label).Inc()
+			if err != nil {
+				c.reg.Counter(MetricShardErrors + "|" + sc.label).Inc()
+				errs[sc.index] = fmt.Errorf("coordinator: %s on %s: %w", op, sc.label, err)
+			}
+		}(sc)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanOutKey derives the backend idempotency key for one fan-out: the
+// caller's inbound key when it sent one (so a retried inbound request
+// converges on every shard), or empty to let each client mint its own.
+func fanOutKey(ctx context.Context, inboundKey string) context.Context {
+	if inboundKey == "" {
+		return ctx
+	}
+	return marketing.WithIdempotencyKey(ctx, inboundKey)
+}
+
+// CreateAudience fans an audience upload out to every shard and asserts the
+// shards matched identically.
+func (c *Coordinator) CreateAudience(ctx context.Context, inboundKey, name string, piiHashes []string) (*marketing.CreateAudienceResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*marketing.CreateAudienceResponse, len(c.shards))
+	err := c.scatter(ctx, "create audience", func(ctx context.Context, sc *shardConn) error {
+		resp, err := sc.client.CreateAudience(fanOutKey(ctx, inboundKey), name, piiHashes)
+		if err != nil {
+			return err
+		}
+		out[sc.index] = resp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].ID != out[0].ID || out[i].MatchedSize != out[0].MatchedSize {
+			return nil, divergence("audience create", c.shards[i], fmt.Sprintf("%+v", out[i]), fmt.Sprintf("%+v", out[0]))
+		}
+	}
+	return out[0], nil
+}
+
+// CreateCampaign fans a campaign create out to every shard.
+func (c *Coordinator) CreateCampaign(ctx context.Context, inboundKey string, req marketing.CreateCampaignRequest) (*marketing.CreateCampaignResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*marketing.CreateCampaignResponse, len(c.shards))
+	err := c.scatter(ctx, "create campaign", func(ctx context.Context, sc *shardConn) error {
+		resp, err := sc.client.CreateCampaign(fanOutKey(ctx, inboundKey), req)
+		if err != nil {
+			return err
+		}
+		out[sc.index] = resp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].ID != out[0].ID {
+			return nil, divergence("campaign create", c.shards[i], out[i].ID, out[0].ID)
+		}
+	}
+	return out[0], nil
+}
+
+// CreateAd fans an ad create out to every shard. The review RNG is seeded
+// identically on every backend, so the review outcome must also agree.
+func (c *Coordinator) CreateAd(ctx context.Context, inboundKey string, req marketing.CreateAdRequest) (*marketing.AdResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*marketing.AdResponse, len(c.shards))
+	err := c.scatter(ctx, "create ad", func(ctx context.Context, sc *shardConn) error {
+		resp, err := sc.client.CreateAd(fanOutKey(ctx, inboundKey), req)
+		if err != nil {
+			return err
+		}
+		out[sc.index] = resp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].ID != out[0].ID || out[i].Status != out[0].Status {
+			return nil, divergence("ad create", c.shards[i], fmt.Sprintf("%+v", out[i]), fmt.Sprintf("%+v", out[0]))
+		}
+	}
+	return out[0], nil
+}
+
+// AppealAd fans an appeal out to every shard.
+func (c *Coordinator) AppealAd(ctx context.Context, inboundKey, adID string) (*marketing.AdResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*marketing.AdResponse, len(c.shards))
+	err := c.scatter(ctx, "appeal ad", func(ctx context.Context, sc *shardConn) error {
+		resp, err := sc.client.AppealAd(fanOutKey(ctx, inboundKey), adID)
+		if err != nil {
+			return err
+		}
+		out[sc.index] = resp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Status != out[0].Status {
+			return nil, divergence("ad appeal", c.shards[i], out[i].Status, out[0].Status)
+		}
+	}
+	return out[0], nil
+}
+
+// GetAd reads an ad's status from the first shard that answers, in shard
+// order (reads need no quorum: shards are replicas of the CRUD state).
+func (c *Coordinator) GetAd(ctx context.Context, adID string) (*marketing.AdResponse, error) {
+	var lastErr error
+	for _, sc := range c.shards {
+		resp, err := sc.client.GetAd(ctx, adID)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !marketing.Retryable(err) {
+			break // a terminal answer (404, validation) is the answer
+		}
+	}
+	return nil, lastErr
+}
+
+// Insights fans the insights read out to every shard and merges: counts sum
+// (shards own disjoint users, so impressions, reach, clicks, and every
+// breakdown cell add), while SpendCents — written identically to all shards
+// at day finish — must agree to the bit and passes through.
+func (c *Coordinator) Insights(ctx context.Context, adID string, dims []string) (*marketing.InsightsResponse, error) {
+	out := make([]*marketing.InsightsResponse, len(c.shards))
+	err := c.scatter(ctx, "insights", func(ctx context.Context, sc *shardConn) error {
+		var resp *marketing.InsightsResponse
+		var err error
+		if len(dims) == 0 {
+			resp, err = sc.client.Insights(ctx, adID)
+		} else {
+			resp, err = sc.client.InsightsBreakdown(ctx, adID, dims...)
+		}
+		if err != nil {
+			return err
+		}
+		out[sc.index] = resp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeInsights(c.shards, out)
+}
+
+// mergeInsights folds per-shard delivery reports into the fleet-wide one.
+func mergeInsights(shards []*shardConn, parts []*marketing.InsightsResponse) (*marketing.InsightsResponse, error) {
+	m := &marketing.InsightsResponse{AdID: parts[0].AdID, SpendCents: parts[0].SpendCents}
+	cells := map[marketing.BreakdownRow]int{}
+	for i, part := range parts {
+		if part.SpendCents != m.SpendCents {
+			return nil, divergence("insights spend", shards[i],
+				fmt.Sprintf("%v", part.SpendCents), fmt.Sprintf("%v", m.SpendCents))
+		}
+		m.Impressions += part.Impressions
+		m.Reach += part.Reach
+		m.Clicks += part.Clicks
+		for _, row := range part.Breakdown {
+			key := row
+			key.Impressions = 0
+			cells[key] += row.Impressions
+		}
+		if len(part.Hourly) > 0 {
+			if m.Hourly == nil {
+				m.Hourly = make([]int, len(part.Hourly))
+			}
+			if len(part.Hourly) != len(m.Hourly) {
+				return nil, divergence("insights hourly length", shards[i],
+					fmt.Sprintf("%d", len(part.Hourly)), fmt.Sprintf("%d", len(m.Hourly)))
+			}
+			for t, v := range part.Hourly {
+				m.Hourly[t] += v
+			}
+		}
+	}
+	for key, n := range cells {
+		key.Impressions = n
+		m.Breakdown = append(m.Breakdown, key)
+	}
+	sort.Slice(m.Breakdown, func(i, j int) bool {
+		a, b := m.Breakdown[i], m.Breakdown[j]
+		if a.Age != b.Age {
+			return a.Age < b.Age
+		}
+		if a.Gender != b.Gender {
+			return a.Gender < b.Gender
+		}
+		return a.Region < b.Region
+	})
+	return m, nil
+}
+
+// Inventory fans the object census out to every shard and asserts the
+// shards agree — the cheap convergence check the multi-process smoke test
+// leans on.
+func (c *Coordinator) Inventory(ctx context.Context) (*platform.Inventory, error) {
+	out := make([]*platform.Inventory, len(c.shards))
+	err := c.scatter(ctx, "inventory", func(ctx context.Context, sc *shardConn) error {
+		inv, err := sc.client.Inventory(ctx)
+		if err != nil {
+			return err
+		}
+		out[sc.index] = inv
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Audiences != out[0].Audiences || out[i].Campaigns != out[0].Campaigns ||
+			out[i].Ads != out[0].Ads || strings.Join(out[i].CampaignNames, ",") != strings.Join(out[0].CampaignNames, ",") {
+			return nil, divergence("inventory", c.shards[i], fmt.Sprintf("%+v", *out[i]), fmt.Sprintf("%+v", *out[0]))
+		}
+	}
+	return out[0], nil
+}
+
+// divergence builds the error for shards that disagree on what must be
+// replicated state. It is not retryable by design: divergence means a
+// backend executed a mutation the others did not (or runs different code /
+// a different world seed) and needs operator attention, not a retry.
+func divergence(what string, sc *shardConn, got, want string) error {
+	return fmt.Errorf("coordinator: %s diverged on %s (%s): got %s, want %s (shard0)", what, sc.label, sc.url, got, want)
+}

@@ -1,0 +1,22 @@
+package coordinator
+
+// Router metric names. Per-shard metrics use the registry's "name|label"
+// convention — constant metric name, shard label after the separator — so
+// cardinality stays fixed at the (small, static) shard count.
+const (
+	// MetricShardRequests counts backend calls, labeled per shard.
+	MetricShardRequests = "router.shard.requests"
+	// MetricShardErrors counts failed backend calls, labeled per shard.
+	MetricShardErrors = "router.shard.errors"
+	// MetricShardLatency is the per-call backend latency, labeled per shard.
+	MetricShardLatency = "router.shard.latency"
+	// MetricDays counts coordinated delivery days that committed.
+	MetricDays = "router.delivery.days"
+	// MetricDayRestarts counts delivery-day attempts that were abandoned and
+	// re-run after a shard failure.
+	MetricDayRestarts = "router.delivery.restarts"
+	// MetricDayTicks counts committed coordinated ticks.
+	MetricDayTicks = "router.delivery.ticks"
+	// MetricDayLatency is the wall time of whole coordinated days.
+	MetricDayLatency = "router.delivery.day"
+)

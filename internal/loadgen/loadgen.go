@@ -89,6 +89,10 @@ type Config struct {
 	// platform-side shard count for the parallel delivery engine. 0 defers
 	// to the server's configured default; 1 forces the sequential oracle.
 	DeliveryWorkers int
+	// ShardCount records the process topology behind the target (from the
+	// router's GET /v1/topology) in the report. Informational only: 0 means
+	// the target is a single adplatform process.
+	ShardCount int
 }
 
 // withDefaults fills zero fields.
@@ -364,6 +368,7 @@ func (r *Runner) report(wall time.Duration) *Report {
 		AdsPerCampaign:     r.cfg.AdsPerCampaign,
 		AudienceSize:       r.cfg.AudienceSize,
 		DeliveryWorkers:    r.cfg.DeliveryWorkers,
+		Shards:             r.cfg.ShardCount,
 		WallSeconds:        math.Round(wall.Seconds()*1000) / 1000,
 		Operations:         map[string]OpReport{},
 	}

@@ -38,11 +38,14 @@ type Report struct {
 	AudienceSize       int     `json:"audience_size"`
 	// DeliveryWorkers is the per-request delivery shard count sent with
 	// every deliver call (0 = server default).
-	DeliveryWorkers int     `json:"delivery_workers,omitempty"`
-	WallSeconds     float64 `json:"wall_seconds"`
-	Requests        int64   `json:"requests"`
-	Errors          int64   `json:"errors"`
-	ThroughputRPS   float64 `json:"throughput_rps"`
+	DeliveryWorkers int `json:"delivery_workers,omitempty"`
+	// Shards is the process topology behind the target when it is a router
+	// (scraped from GET /v1/topology); 0 for a single-process target.
+	Shards        int     `json:"shards,omitempty"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
 	// Retries counts client-side retry attempts beyond each call's first
 	// try; BreakerRejects counts calls refused outright by the client's
 	// open circuit breaker.

@@ -344,6 +344,19 @@ func (c *Client) nextIdempotencyKey() string {
 	return fmt.Sprintf("%s-%d", c.idemBase, c.idemSeq.Add(1))
 }
 
+// idemKeyContextKey carries an explicit idempotency key through a context.
+type idemKeyContextKey struct{}
+
+// WithIdempotencyKey returns a context that makes mutating calls under it
+// carry the given idempotency key instead of a freshly minted one. A
+// frontend that fans one inbound mutating request out to several backends
+// forwards the inbound key this way: if the frontend's own response is lost
+// and its caller retries, the re-executed fan-out deduplicates at every
+// backend instead of double-creating on the shards that already executed.
+func WithIdempotencyKey(ctx context.Context, key string) context.Context {
+	return context.WithValue(ctx, idemKeyContextKey{}, key)
+}
+
 // do runs one API call through the full resilience stack: breaker gate,
 // throttle, attempt, classify, back off, retry. Mutating methods carry an
 // idempotency key that stays constant across retries, so the server can
@@ -358,7 +371,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	idemKey := ""
 	if method != http.MethodGet {
-		idemKey = c.nextIdempotencyKey()
+		if k, _ := ctx.Value(idemKeyContextKey{}).(string); k != "" {
+			idemKey = k
+		} else {
+			idemKey = c.nextIdempotencyKey()
+		}
 	}
 	c.mu.Lock()
 	maxAttempts := c.retry.MaxAttempts

@@ -136,6 +136,12 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/ads/{id}", s.handleGetAd)
 	handle("POST /v1/deliver", s.handleDeliver)
 	handle("GET /v1/insights", s.handleInsights)
+	// Shard-scoped delivery protocol (see shard.go): the coordinator's
+	// operator plane, not part of the advertiser API.
+	handle("POST /v1/shard/delivery/begin", s.handleBeginDay)
+	handle("POST /v1/shard/delivery/tick", s.handleDayTick)
+	handle("POST /v1/shard/delivery/finish", s.handleFinishDay)
+	handle("POST /v1/shard/delivery/abort", s.handleAbortDay)
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	mux.Handle("GET /healthz", obs.HealthzHandler(s.reg))
 	// Operational census, not part of the advertiser API: the crash-recovery

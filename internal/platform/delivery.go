@@ -98,6 +98,9 @@ func (p *Platform) RunDay(adIDs []string, seed int64) error {
 func (p *Platform) RunDayWorkers(adIDs []string, seed int64, workers int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.session != nil {
+		return fmt.Errorf("platform: coordinated delivery session %q active, cannot run an in-process day", p.session.name)
+	}
 	if workers <= 0 {
 		workers = p.cfg.DeliveryWorkers
 	}
@@ -107,53 +110,13 @@ func (p *Platform) RunDayWorkers(adIDs []string, seed int64, workers int) error 
 	if workers > maxDeliveryWorkers {
 		workers = maxDeliveryWorkers
 	}
-	var active []*Ad
-	for _, id := range adIDs {
-		ad, err := p.adLocked(id)
-		if err != nil {
-			return err
-		}
-		switch ad.Status {
-		case StatusActive:
-			active = append(active, ad)
-		case StatusRejected:
-			// Skipped, not an error.
-		default:
-			return fmt.Errorf("platform: ad %s is %v, cannot deliver", id, ad.Status)
-		}
+	active, adsByUser, users, err := p.prepareDay(adIDs)
+	if err != nil {
+		return err
 	}
-	if len(active) == 0 {
-		return fmt.Errorf("platform: no active ads to deliver")
+	for _, ad := range active {
+		p.stats[ad.ID] = p.newAdStats(ad.ID)
 	}
-
-	// Index ads by targeted user and initialize per-run state. This setup is
-	// shared by both engines and consumes no randomness.
-	adsByUser := map[int][]*Ad{}
-	for i, ad := range active {
-		ad.spent = 0
-		ad.runIdx = i
-		// Start the effective bid so that bid × (typical optimization term)
-		// lands near the competing demand level; the pacing controller
-		// refines from there. Without this, reach-optimized ads (term = 1)
-		// would burn their budget at eAR-scaled bids ~25× too high.
-		meanTerm := p.meanOptimizationTerm(ad)
-		ad.pacing = math.Min(math.Max(2*p.cfg.CompetitionBase/meanTerm, 0.005), 50)
-		p.stats[ad.ID] = &AdStats{
-			AdID:         ad.ID,
-			Breakdown:    map[BreakdownKey]int{},
-			RaceOracle:   map[demo.Race]int{},
-			HourlySeries: make([]int, p.cfg.Ticks),
-		}
-		for _, idx := range ad.audience {
-			adsByUser[idx] = append(adsByUser[idx], ad)
-		}
-	}
-	users := make([]int, 0, len(adsByUser))
-	for idx := range adsByUser {
-		users = append(users, idx)
-	}
-	// Deterministic base order before the per-tick seeded shuffles.
-	sort.Ints(users)
 
 	start := p.deliveryClockNow()
 	var auctions int64
@@ -178,11 +141,101 @@ func (p *Platform) RunDayWorkers(adIDs []string, seed int64, workers int) error 
 		del.Completed = append(del.Completed, ad.ID)
 		del.Stats = append(del.Stats, *adStatsState(p.stats[ad.ID]))
 	}
-	sort.Strings(del.Completed)
-	sort.Slice(del.Stats, func(i, j int) bool { return del.Stats[i].AdID < del.Stats[j].AdID })
+	sortDeliveryState(del)
 	p.emit(Mutation{Kind: MutDayDelivered, Delivery: del})
 	p.observeDelivery(start, int64(p.cfg.Ticks), auctions, impressions, workers, merge)
 	return nil
+}
+
+// prepareDay resolves a delivery request into the run's active ad set,
+// audience index, and sorted user list, and initializes per-run ad state
+// (zeroed spend, run index, starting pacing). It is shared by RunDayWorkers
+// and the coordinated day session (delivery_session.go) and consumes no
+// randomness, so every shard of a coordinated day derives the identical
+// plan from the same CRUD state. The caller holds p.mu for writing.
+func (p *Platform) prepareDay(adIDs []string) (active []*Ad, adsByUser map[int][]*Ad, users []int, err error) {
+	for _, id := range adIDs {
+		ad, err := p.adLocked(id)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch ad.Status {
+		case StatusActive:
+			active = append(active, ad)
+		case StatusRejected:
+			// Skipped, not an error.
+		default:
+			return nil, nil, nil, fmt.Errorf("platform: ad %s is %v, cannot deliver", id, ad.Status)
+		}
+	}
+	if len(active) == 0 {
+		return nil, nil, nil, fmt.Errorf("platform: no active ads to deliver")
+	}
+
+	// Index ads by targeted user and initialize per-run state.
+	adsByUser = map[int][]*Ad{}
+	for i, ad := range active {
+		ad.spent = 0
+		ad.runIdx = i
+		// Start the effective bid so that bid × (typical optimization term)
+		// lands near the competing demand level; the pacing controller
+		// refines from there. Without this, reach-optimized ads (term = 1)
+		// would burn their budget at eAR-scaled bids ~25× too high.
+		meanTerm := p.meanOptimizationTerm(ad)
+		ad.pacing = math.Min(math.Max(2*p.cfg.CompetitionBase/meanTerm, 0.005), 50)
+		for _, idx := range ad.audience {
+			adsByUser[idx] = append(adsByUser[idx], ad)
+		}
+	}
+	users = make([]int, 0, len(adsByUser))
+	for idx := range adsByUser {
+		users = append(users, idx)
+	}
+	// Deterministic base order before the per-tick seeded shuffles.
+	sort.Ints(users)
+	return active, adsByUser, users, nil
+}
+
+// newAdStats allocates an empty delivery report sized for the configured
+// tick count; the caller holds p.mu.
+func (p *Platform) newAdStats(adID string) *AdStats {
+	return &AdStats{
+		AdID:         adID,
+		Breakdown:    map[BreakdownKey]int{},
+		RaceOracle:   map[demo.Race]int{},
+		HourlySeries: make([]int, p.cfg.Ticks),
+	}
+}
+
+// seqDay is the sequential engine's per-day state, factored out so the
+// coordinated 1-shard day session (delivery_session.go) can run the exact
+// oracle tick path one externally paced tick at a time. Auctions write into
+// the injected stats map and served-row sink rather than straight into
+// platform state, which is what lets a session defer installing its results
+// until the coordinator commits the day.
+type seqDay struct {
+	rng       *rand.Rand
+	stats     map[string]*AdStats
+	reached   map[string]map[int]struct{}
+	frequency map[string]map[int]int
+	serve     func(userIdx int, ad *Ad, clicked bool)
+}
+
+// newSeqDay builds sequential-engine day state over the given stats map and
+// served-row sink.
+func newSeqDay(active []*Ad, seed int64, stats map[string]*AdStats, serve func(int, *Ad, bool)) *seqDay {
+	sd := &seqDay{
+		rng:       rand.New(rand.NewSource(seed)),
+		stats:     stats,
+		reached:   make(map[string]map[int]struct{}, len(active)),
+		frequency: make(map[string]map[int]int, len(active)),
+		serve:     serve,
+	}
+	for _, ad := range active {
+		sd.reached[ad.ID] = map[int]struct{}{}
+		sd.frequency[ad.ID] = map[int]int{}
+	}
+	return sd
 }
 
 // runDaySequential is the single-threaded oracle engine: one RNG stream,
@@ -190,14 +243,7 @@ func (p *Platform) RunDayWorkers(adIDs []string, seed int64, workers int) error 
 // the determinism contract every parallel configuration is differentially
 // tested against, so its draw order must never change.
 func (p *Platform) runDaySequential(active []*Ad, adsByUser map[int][]*Ad, users []int, seed int64) int64 {
-	rng := rand.New(rand.NewSource(seed))
-	reached := make(map[string]map[int]struct{}, len(active))
-	frequency := make(map[string]map[int]int, len(active))
-	for _, ad := range active {
-		reached[ad.ID] = map[int]struct{}{}
-		frequency[ad.ID] = map[int]int{}
-	}
-
+	sd := newSeqDay(active, seed, p.stats, p.recordServed)
 	var auctions int64
 	ticks := p.cfg.Ticks
 	for tick := 0; tick < ticks; tick++ {
@@ -207,47 +253,42 @@ func (p *Platform) runDaySequential(active []*Ad, adsByUser map[int][]*Ad, users
 		// dumping into the first slots.
 		elapsed := float64(tick) / float64(ticks)
 		for _, ad := range active {
-			budget := float64(ad.DailyBudgetCents) / 100
-			target := budget * elapsed
-			switch {
-			case ad.spent >= budget:
-				ad.pacing = 0 // budget exhausted
-			case ad.spent > target:
-				ad.pacing *= 0.82
-			default:
-				ad.pacing *= 1.25
-			}
-			ad.pacing = math.Min(ad.pacing, 50)
+			ad.pacing, ad.tickCap = pacingStep(ad.pacing, ad.spent, float64(ad.DailyBudgetCents)/100, elapsed, ticks, p.cfg.GreedyPacing)
 			ad.tickSpent = 0
-			ad.tickCap = 2 * budget / float64(ticks)
-			if p.cfg.GreedyPacing {
-				// A5 ablation: no pacing control at all — bid high until
-				// the budget runs out.
-				ad.pacing = 5
-				ad.tickCap = budget
-			}
 		}
-		// Visit users in a fresh random order each tick so no ad's spend
-		// window correlates with a fixed slice of the audience.
-		rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
-		for _, idx := range users {
-			u := &p.pop.Users[idx]
-			sessions := poisson(rng, u.Activity/float64(ticks))
-			auctions += int64(sessions)
-			for s := 0; s < sessions; s++ {
-				p.auction(rng, u, adsByUser[idx], tick, reached, frequency)
-			}
-		}
+		auctions += p.seqTick(sd, adsByUser, users, tick)
 	}
 	for _, ad := range active {
-		p.stats[ad.ID].Reach = len(reached[ad.ID])
+		p.stats[ad.ID].Reach = len(sd.reached[ad.ID])
+	}
+	return auctions
+}
+
+// seqTick runs one sequential-engine tick: visit users in a fresh random
+// order (so no ad's spend window correlates with a fixed slice of the
+// audience), running each user's sessions. The shuffle permutes the caller's
+// user slice in place — order persists across ticks, exactly like the
+// original inline loop.
+func (p *Platform) seqTick(sd *seqDay, adsByUser map[int][]*Ad, users []int, tick int) int64 {
+	rng := sd.rng
+	rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+	var auctions int64
+	ticks := float64(p.cfg.Ticks)
+	for _, idx := range users {
+		u := &p.pop.Users[idx]
+		sessions := poisson(rng, u.Activity/ticks)
+		auctions += int64(sessions)
+		for s := 0; s < sessions; s++ {
+			p.auction(sd, u, adsByUser[idx], tick)
+		}
 	}
 	return auctions
 }
 
 // auction runs one ad slot: the eligible audit ads compete with each other
 // and with background advertiser demand; the winner pays the second price.
-func (p *Platform) auction(rng *rand.Rand, u *population.User, eligible []*Ad, tick int, reached map[string]map[int]struct{}, frequency map[string]map[int]int) {
+func (p *Platform) auction(sd *seqDay, u *population.User, eligible []*Ad, tick int) {
+	rng := sd.rng
 	bg := p.backgroundBid(rng, u)
 	var winner *Ad
 	best, second := bg, 0.0
@@ -262,7 +303,7 @@ func (p *Platform) auction(rng *rand.Rand, u *population.User, eligible []*Ad, t
 		if ad.pacing <= 0 || ad.spent >= float64(ad.DailyBudgetCents)/100 || ad.tickSpent >= ad.tickCap {
 			continue
 		}
-		if p.cfg.FrequencyCap > 0 && frequency[ad.ID][u.ID] >= p.cfg.FrequencyCap {
+		if p.cfg.FrequencyCap > 0 && sd.frequency[ad.ID][u.ID] >= p.cfg.FrequencyCap {
 			continue
 		}
 		value := ad.pacing*p.optimizationTerm(ad, u) + p.cfg.Quality
@@ -292,7 +333,7 @@ func (p *Platform) auction(rng *rand.Rand, u *population.User, eligible []*Ad, t
 	}
 	winner.spent += price
 	winner.tickSpent += price
-	st := p.stats[winner.ID]
+	st := sd.stats[winner.ID]
 	st.Impressions++
 	st.HourlySeries[tick]++
 	st.Breakdown[BreakdownKey{
@@ -301,8 +342,8 @@ func (p *Platform) auction(rng *rand.Rand, u *population.User, eligible []*Ad, t
 		Region: p.deliveryRegion(rng, u),
 	}]++
 	st.RaceOracle[u.Race]++
-	reached[winner.ID][u.ID] = struct{}{}
-	frequency[winner.ID][u.ID]++
+	sd.reached[winner.ID][u.ID] = struct{}{}
+	sd.frequency[winner.ID][u.ID]++
 	// Traffic objective: record clicks from ground-truth behaviour and log
 	// the served impression into the retraining buffer — the feedback loop
 	// Retrain closes.
@@ -310,7 +351,7 @@ func (p *Platform) auction(rng *rand.Rand, u *population.User, eligible []*Ad, t
 	if clicked {
 		st.Clicks++
 	}
-	p.recordServed(u.ID, winner, clicked)
+	sd.serve(u.ID, winner, clicked)
 }
 
 // optimizationTerm computes the per-user multiplier the delivery objective

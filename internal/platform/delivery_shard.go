@@ -34,6 +34,48 @@ import (
 	"github.com/adaudit/impliedidentity/internal/population"
 )
 
+// newDeliveryShard builds one shard's day state: a private RNG stream
+// derived from (seed, shard) and empty per-ad accumulators.
+func newDeliveryShard(seed int64, shard, numAds, ticks int) *deliveryShard {
+	sh := &deliveryShard{
+		rng:  rand.New(rand.NewSource(shardSeed(seed, shard))),
+		accs: make([]*shardAcc, numAds),
+	}
+	for i := range sh.accs {
+		sh.accs[i] = &shardAcc{
+			hourly:    make([]int, ticks),
+			breakdown: map[BreakdownKey]int{},
+			race:      map[demo.Race]int{},
+			reached:   map[int]struct{}{},
+			frequency: map[int]int{},
+		}
+	}
+	return sh
+}
+
+// mergeShardStats folds one shard's day-end accumulators into the stats map
+// in run-index order. Map-to-map addition is insensitive to Go's randomized
+// map iteration order, so the merged counts are deterministic even though
+// the per-shard map walks are not. Reach adds because shards own disjoint
+// users.
+func mergeShardStats(stats map[string]*AdStats, active []*Ad, sh *deliveryShard) {
+	for i, acc := range sh.accs {
+		st := stats[active[i].ID]
+		st.Impressions += acc.impressions
+		st.Clicks += acc.clicks
+		st.Reach += len(acc.reached)
+		for t, v := range acc.hourly {
+			st.HourlySeries[t] += v
+		}
+		for k, v := range acc.breakdown {
+			st.Breakdown[k] += v
+		}
+		for r, v := range acc.race {
+			st.RaceOracle[r] += v
+		}
+	}
+}
+
 // shardSeed derives one shard's RNG seed from the day seed with a
 // splitmix64-style mixer, giving well-separated streams even for adjacent
 // (seed, shard) pairs. The mapping depends only on its inputs, so a fixed
@@ -76,20 +118,7 @@ func (p *Platform) runDaySharded(active []*Ad, adsByUser map[int][]*Ad, users []
 	ticks := p.cfg.Ticks
 	shards := make([]*deliveryShard, workers)
 	for s := range shards {
-		sh := &deliveryShard{
-			rng:  rand.New(rand.NewSource(shardSeed(seed, s))),
-			accs: make([]*shardAcc, len(active)),
-		}
-		for i := range active {
-			sh.accs[i] = &shardAcc{
-				hourly:    make([]int, ticks),
-				breakdown: map[BreakdownKey]int{},
-				race:      map[demo.Race]int{},
-				reached:   map[int]struct{}{},
-				frequency: map[int]int{},
-			}
-		}
-		shards[s] = sh
+		shards[s] = newDeliveryShard(seed, s, len(active), ticks)
 	}
 	// Round-robin partition of the sorted user list: deterministic, and it
 	// spreads every demographic stratum across shards instead of giving one
@@ -109,33 +138,9 @@ func (p *Platform) runDaySharded(active []*Ad, adsByUser map[int][]*Ad, users []
 		elapsed := float64(tick) / float64(ticks)
 		for i, ad := range active {
 			budget := float64(ad.DailyBudgetCents) / 100
-			target := budget * elapsed
-			switch {
-			case ad.spent >= budget:
-				ad.pacing = 0 // budget exhausted
-			case ad.spent > target:
-				ad.pacing *= 0.82
-			default:
-				ad.pacing *= 1.25
-			}
-			ad.pacing = math.Min(ad.pacing, 50)
+			ad.pacing, ad.tickCap = pacingStep(ad.pacing, ad.spent, budget, elapsed, ticks, p.cfg.GreedyPacing)
 			ad.tickSpent = 0
-			ad.tickCap = 2 * budget / float64(ticks)
-			if p.cfg.GreedyPacing {
-				// A5 ablation: no pacing control at all — bid high until
-				// the budget runs out.
-				ad.pacing = 5
-				ad.tickCap = budget
-			}
-			// Each shard may spend at most a 1/workers slice of what the ad
-			// can still spend this tick, so the committed total overruns the
-			// tick cap by at most one winning price per shard; the commit
-			// clamp below absorbs any overrun of the daily budget itself.
-			remaining := math.Min(ad.tickCap, budget-ad.spent)
-			if remaining < 0 {
-				remaining = 0
-			}
-			shardCaps[i] = remaining / float64(workers)
+			shardCaps[i] = shardCapShare(ad.tickCap, budget, ad.spent, workers)
 		}
 
 		// Phase 2: the parallel fan-out. Shards only read the shared state
@@ -154,15 +159,7 @@ func (p *Platform) runDaySharded(active []*Ad, adsByUser map[int][]*Ad, users []
 					continue
 				}
 				ad := active[i]
-				budget := float64(ad.DailyBudgetCents) / 100
-				spend := acc.tickSpent
-				// Same overspend clamp as the sequential engine's, applied
-				// to the shard batch: the committed day never exceeds the
-				// daily budget.
-				if ad.spent+spend > budget {
-					spend = budget - ad.spent
-				}
-				ad.spent += spend
+				ad.spent = commitSpend(ad.spent, acc.tickSpent, float64(ad.DailyBudgetCents)/100)
 				acc.tickSpent = 0
 			}
 			// Serve-log rows flush in shard order, so the retraining buffer
@@ -177,27 +174,11 @@ func (p *Platform) runDaySharded(active []*Ad, adsByUser map[int][]*Ad, users []
 		}
 	}
 
-	// Day-end merge, fixed shard order. Map-to-map addition is insensitive
-	// to Go's randomized map iteration order, so the merged counts are
-	// deterministic even though the per-shard map walks are not.
+	// Day-end merge, fixed shard order.
 	var auctions int64
 	for _, sh := range shards {
 		auctions += sh.auctions
-		for i, acc := range sh.accs {
-			st := p.stats[active[i].ID]
-			st.Impressions += acc.impressions
-			st.Clicks += acc.clicks
-			st.Reach += len(acc.reached) // shards own disjoint users
-			for t, v := range acc.hourly {
-				st.HourlySeries[t] += v
-			}
-			for k, v := range acc.breakdown {
-				st.Breakdown[k] += v
-			}
-			for r, v := range acc.race {
-				st.RaceOracle[r] += v
-			}
-		}
+		mergeShardStats(p.stats, active, sh)
 	}
 	return auctions, mergeTime
 }

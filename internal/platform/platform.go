@@ -114,6 +114,10 @@ type Platform struct {
 	reviewRNG *rand.Rand
 	nextID    int
 
+	// session is the active coordinated delivery session, if any (see
+	// delivery_session.go). In-memory only: a restart loses it, by design.
+	session *daySession
+
 	// hook receives every committed mutation (see state.go); invoked while
 	// p.mu is held for writing, so emission order is application order.
 	hook MutationHook

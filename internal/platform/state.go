@@ -108,9 +108,20 @@ type DeliveryState struct {
 	// Replay applies the recorded stats rather than re-running the day, so
 	// the field is informational, but it lets an auditor confirm which
 	// engine configuration produced a recorded day.
-	Workers   int            `json:"workers,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Shard/Shards identify which slice of a coordinated multi-process day
+	// this backend ran (see delivery_session.go). Zero for in-process days.
+	Shard     int            `json:"shard,omitempty"`
+	Shards    int            `json:"shards,omitempty"`
 	Completed []string       `json:"completed"`
 	Stats     []AdStatsState `json:"stats"`
+}
+
+// sortDeliveryState puts a day record into its canonical order (sorted ad
+// IDs), so identical days serialize to identical bytes.
+func sortDeliveryState(del *DeliveryState) {
+	sort.Strings(del.Completed)
+	sort.Slice(del.Stats, func(i, j int) bool { return del.Stats[i].AdID < del.Stats[j].AdID })
 }
 
 // Mutation is one durable platform state change, emitted through the

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Multi-process router smoke: two identical 2-shard fleets (router + two
+# adplatform backends with per-shard WAL dirs) run the same deterministic
+# adload session. Fleet A additionally has one shard hard-killed (kill -9)
+# between load phases and restarted from its WAL; fleet B runs undisturbed.
+# The merged wire-level insight digests of both fleets must be identical —
+# the crash, recovery, and router fan-out may not change a single byte.
+# (The mid-day crash paths — a shard dying inside a tick or inside the
+# commit fan-out — are exercised deterministically by the Go e2e tests in
+# internal/coordinator; this script covers the process-level story: real
+# binaries, real TCP, real WAL recovery.)
+#
+# Usage: scripts/router_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK=${1:-/tmp/router-smoke}
+rm -rf "$WORK"
+mkdir -p "$WORK/bin"
+
+WORLD="-seed 7 -voters 4000 -logrows 1500"
+LOAD="-concurrency 1 -scenarios 3 -ads 2 -audience 100"
+MAX_AD_ID=80
+
+echo "building binaries..."
+go build -o "$WORK/bin/adplatform" ./cmd/adplatform
+go build -o "$WORK/bin/adrouter" ./cmd/adrouter
+go build -o "$WORK/bin/adload" ./cmd/adload
+
+declare -a PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_healthy() { # port
+  for _ in $(seq 1 120); do
+    curl -fs "http://127.0.0.1:$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 1
+  done
+  echo "server on port $1 never became healthy" >&2
+  return 1
+}
+
+start_shard() { # tag shard port extra...
+  local tag=$1 shard=$2 port=$3
+  shift 3
+  # shellcheck disable=SC2086
+  "$WORK/bin/adplatform" -addr "127.0.0.1:$port" $WORLD \
+    -store-dir "$WORK/$tag/state$shard" -fsync always -snapshot-every 10 \
+    "$@" >>"$WORK/$tag/shard$shard.log" 2>&1 &
+  PIDS+=($!)
+  eval "${tag}_SHARD${shard}_PID=$!"
+}
+
+# digest port file — hash the full insight surface (plain + full breakdown)
+# of every ad the deterministic load session created.
+digest() { # port file
+  local port=$1 out=$2
+  : >"$out.raw"
+  local found=0
+  for i in $(seq 1 "$MAX_AD_ID"); do
+    if curl -fs "http://127.0.0.1:$port/v1/ads/ad-$i" >/dev/null 2>&1; then
+      found=$((found + 1))
+      curl -fs "http://127.0.0.1:$port/v1/insights?ad_id=ad-$i" >>"$out.raw"
+      curl -fs "http://127.0.0.1:$port/v1/insights?ad_id=ad-$i&breakdown=age,gender,region" >>"$out.raw"
+    fi
+  done
+  [ "$found" -gt 0 ] || { echo "no ads found behind port $port" >&2; return 1; }
+  sha256sum "$out.raw" | cut -d' ' -f1 >"$out"
+  echo "  $found ads digested: $(cat "$out")"
+}
+
+run_fleet() { # tag router_port shard0_port shard1_port kill_one
+  local tag=$1 rport=$2 s0=$3 s1=$4 kill_one=$5
+  mkdir -p "$WORK/$tag"
+  echo "[$tag] starting 2-shard fleet (router :$rport, shards :$s0 :$s1)..."
+  start_shard "$tag" 0 "$s0" -voterdir "$WORK/$tag/extracts"
+  start_shard "$tag" 1 "$s1"
+  wait_healthy "$s0" || { cat "$WORK/$tag/shard0.log"; return 1; }
+  wait_healthy "$s1" || { cat "$WORK/$tag/shard1.log"; return 1; }
+  "$WORK/bin/adrouter" -addr "127.0.0.1:$rport" \
+    -shards "http://127.0.0.1:$s0,http://127.0.0.1:$s1" \
+    -day-retries 8 -day-backoff 1s >>"$WORK/$tag/router.log" 2>&1 &
+  PIDS+=($!)
+  wait_healthy "$rport" || { cat "$WORK/$tag/router.log"; return 1; }
+  curl -fs "http://127.0.0.1:$rport/v1/topology" | grep -q '"shards":2' \
+    || { echo "[$tag] router topology is not 2 shards" >&2; return 1; }
+
+  # shellcheck disable=SC2086
+  "$WORK/bin/adload" -target "http://127.0.0.1:$rport" \
+    -voterfile "$WORK/$tag/extracts/fl_voter_extract.txt" $LOAD -seed 7
+
+  if [ "$kill_one" = yes ]; then
+    local victim
+    victim=$(eval echo "\$${tag}_SHARD1_PID")
+    echo "[$tag] kill -9 shard 1 (pid $victim), restarting from its WAL..."
+    kill -9 "$victim"
+    wait "$victim" 2>/dev/null || true
+    start_shard "$tag" 1 "$s1"
+    wait_healthy "$s1" || { cat "$WORK/$tag/shard1.log"; return 1; }
+    grep -q 'durable store' "$WORK/$tag/shard1.log" \
+      || { echo "[$tag] restarted shard did not recover a store" >&2; return 1; }
+  fi
+
+  # Second load phase: drives recovered-shard delivery in fleet A.
+  # shellcheck disable=SC2086
+  "$WORK/bin/adload" -target "http://127.0.0.1:$rport" \
+    -voterfile "$WORK/$tag/extracts/fl_voter_extract.txt" $LOAD -seed 8
+
+  digest "$rport" "$WORK/$tag.digest"
+}
+
+run_fleet A 8400 8401 8402 yes
+run_fleet B 8410 8411 8412 no
+
+if ! cmp -s "$WORK/A.digest" "$WORK/B.digest"; then
+  echo "FAIL: crashed-and-recovered fleet diverged from the undisturbed one:" >&2
+  echo "  A (kill -9 + recover): $(cat "$WORK/A.digest")" >&2
+  echo "  B (undisturbed):       $(cat "$WORK/B.digest")" >&2
+  exit 1
+fi
+echo "router smoke OK: digest $(cat "$WORK/A.digest") identical across crash/recovery and fresh fleets"
