@@ -54,6 +54,7 @@ func run(args []string) error {
 	faultSeed := fs.Int64("fault-seed", 1, "chaos: fault-schedule seed (same seed, same schedule)")
 	faultKinds := fs.String("fault-kinds", "all", "chaos: comma-separated fault kinds (latency,429,5xx,drop,slow) or all")
 	shedCap := fs.Int("shed-cap", marketing.DefaultServerLimits().MaxInFlight, "max in-flight requests before shedding with 429 (0 disables)")
+	reviewReject := fs.Float64("review-reject", -1, "override the ad-review rejection probability (0..1; negative keeps the default) — every shard in one fleet must agree, and chaos soaks set 0 so a replayed create cannot diverge on a review re-roll")
 	storeDir := fs.String("store-dir", "", "durable state directory: WAL + snapshots, recovered on boot (empty disables durability)")
 	fsyncMode := fs.String("fsync", "always", "WAL fsync discipline: always, interval, or none")
 	snapshotEvery := fs.Int("snapshot-every", 5000, "write a snapshot and compact the WAL every N records (0 disables automatic snapshots)")
@@ -102,6 +103,12 @@ func run(args []string) error {
 	cfg := platform.DefaultConfig(*seed + 4)
 	cfg.Training.LogRows = *logRows
 	cfg.DeliveryWorkers = *deliveryWorkers
+	if *reviewReject >= 0 {
+		if *reviewReject > 1 {
+			return fmt.Errorf("-review-reject %v out of range [0,1]", *reviewReject)
+		}
+		cfg.ReviewRejectProb = *reviewReject
+	}
 	plat, err := platform.New(cfg, pop, behave)
 	if err != nil {
 		return err

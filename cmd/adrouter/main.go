@@ -10,10 +10,21 @@
 // -logrows); the router asserts cross-shard agreement on every response and
 // fails loudly on divergence.
 //
+// With -supervise the router also runs the fleet supervisor: it probes every
+// shard, quarantines one that stops answering (CRUD keeps running against the
+// survivors, journaled for the absentee), and — when -shard-cmd is given — owns
+// the shard child processes outright: it spawns them at boot and resurrects a
+// dead one under the SAME shard index, replaying the journal gap and gating
+// readmission on a cross-shard state digest.
+//
 // Usage:
 //
 //	adrouter -addr 127.0.0.1:8400 \
 //	  -shards http://127.0.0.1:8401,http://127.0.0.1:8402
+//
+//	adrouter -addr 127.0.0.1:8400 -supervise \
+//	  -shards http://127.0.0.1:8401,http://127.0.0.1:8402 \
+//	  -shard-cmd './bin/adplatform -addr {addr} -store-dir wal/shard{shard}'
 package main
 
 import (
@@ -21,16 +32,22 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"github.com/adaudit/impliedidentity/internal/coordinator"
+	"github.com/adaudit/impliedidentity/internal/faults"
 	"github.com/adaudit/impliedidentity/internal/obs"
+	"github.com/adaudit/impliedidentity/internal/supervisor"
 )
 
 func main() {
@@ -49,6 +66,14 @@ func run(args []string) error {
 	dayBackoff := fs.Duration("day-backoff", 2*time.Second, "initial wait between delivery-day attempts (doubles, capped at 8x)")
 	waitReady := fs.Duration("wait-ready", 30*time.Second, "how long to wait for every backend's /healthz at startup (0 skips the check)")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for draining in-flight requests")
+	supervise := fs.Bool("supervise", false, "run the fleet supervisor: probe shards, quarantine the unreachable, journal their CRUD gap, and rejoin them through the digest gate")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "supervisor probe cadence")
+	journalCap := fs.Int("journal-cap", 256, "max journaled mutations while a shard is down; a full journal sheds new writes with 503 + Retry-After")
+	shardCmd := fs.String("shard-cmd", "", "shard child command template ({shard} and {addr} expand per shard); the router spawns the children at boot and the supervisor resurrects dead ones under the same index")
+	shardLogDir := fs.String("shard-log-dir", "", "directory for per-shard child logs (with -shard-cmd; appended across relaunches)")
+	faultRate := fs.Float64("fault-rate", 0, "chaos: probability an outbound shard RPC draws an injected fault (0 disables)")
+	faultSeed := fs.Int64("fault-seed", 1, "chaos: fault-schedule seed (same seed, same schedule)")
+	faultKinds := fs.String("fault-kinds", "all", "chaos: comma-separated fault kinds (latency,429,5xx,drop,slow) or all")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,17 +81,59 @@ func run(args []string) error {
 	if len(backends) == 0 {
 		return fmt.Errorf("-shards is required (comma-separated backend URLs)")
 	}
+	kinds, err := faults.ParseKinds(*faultKinds)
+	if err != nil {
+		return err
+	}
 
 	reg := obs.NewRegistry()
+	// Fault injection sits on the router->shard RPC path, client-side: every
+	// fan-out call and every supervisor probe crosses it, exactly like a flaky
+	// network between router and fleet. Injected error ANSWERS must not flap
+	// the health model; only transport silence scores toward down.
+	var transport http.RoundTripper
+	if *faultRate > 0 {
+		inj, err := faults.New(faults.Config{Seed: *faultSeed, Rate: *faultRate, Kinds: kinds}, reg)
+		if err != nil {
+			return err
+		}
+		transport = faults.NewTransport(nil, inj, nil)
+		fmt.Printf("RPC fault injection armed: rate %.2f, seed %d, kinds %v\n", *faultRate, *faultSeed, kinds)
+	}
 	coord, err := coordinator.New(coordinator.Config{
 		Backends:    backends,
 		MaxFanout:   *maxFanout,
 		DayAttempts: *dayRetries,
 		DayBackoff:  *dayBackoff,
+		JournalCap:  *journalCap,
+		Transport:   transport,
 	}, reg)
 	if err != nil {
 		return err
 	}
+
+	// With a command template the router owns the shard children: initial
+	// spawn here, resurrection by the supervisor, SIGKILL sweep on exit.
+	var rel *supervisor.ProcessRelauncher
+	if *shardCmd != "" {
+		argv, logs, err := shardCommandLines(*shardCmd, *shardLogDir, backends)
+		if err != nil {
+			return err
+		}
+		rel, err = supervisor.NewProcessRelauncher(argv, logs)
+		if err != nil {
+			return err
+		}
+		for i := range backends {
+			if err := rel.Start(i); err != nil {
+				rel.StopAll()
+				return err
+			}
+			fmt.Printf("  shard%d child: pid %d (%s)\n", i, rel.Pid(i), strings.Join(argv[i], " "))
+		}
+		defer rel.StopAll()
+	}
+
 	if *waitReady > 0 {
 		if err := waitForBackends(backends, *waitReady); err != nil {
 			return err
@@ -90,6 +157,19 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *supervise {
+		// A nil *ProcessRelauncher must stay a nil interface: re-attach-only
+		// mode (an external process manager restarts the children).
+		var relIface supervisor.Relauncher
+		if rel != nil {
+			relIface = rel
+		}
+		sup := supervisor.New(coord, relIface, supervisor.Config{ProbeInterval: *probeInterval, Logf: log.Printf}, reg)
+		sup.Start(ctx)
+		defer sup.Stop()
+		fmt.Printf("fleet supervisor running (probe every %s, relaunch %v)\n", *probeInterval, rel != nil)
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	select {
@@ -112,6 +192,34 @@ func run(args []string) error {
 	fmt.Println("final router metrics:")
 	fmt.Print(reg.Snapshot().String())
 	return drainErr
+}
+
+// shardCommandLines renders the -shard-cmd template once per shard:
+// {shard} -> the shard index, {addr} -> the backend's host:port. The rendered
+// line is whitespace-split (no shell), so paths with spaces need the caller to
+// avoid them — a restriction worth the determinism of not involving a shell.
+func shardCommandLines(tmpl, logDir string, backends []string) ([][]string, []string, error) {
+	argv := make([][]string, len(backends))
+	logs := make([]string, len(backends))
+	for i, backend := range backends {
+		u, err := url.Parse(backend)
+		if err != nil || u.Host == "" {
+			return nil, nil, fmt.Errorf("backend %q: cannot derive {addr}: %v", backend, err)
+		}
+		line := strings.ReplaceAll(tmpl, "{shard}", strconv.Itoa(i))
+		line = strings.ReplaceAll(line, "{addr}", u.Host)
+		argv[i] = strings.Fields(line)
+		if len(argv[i]) == 0 {
+			return nil, nil, fmt.Errorf("-shard-cmd rendered empty for shard %d", i)
+		}
+		if logDir != "" {
+			if err := os.MkdirAll(logDir, 0o755); err != nil {
+				return nil, nil, err
+			}
+			logs[i] = filepath.Join(logDir, fmt.Sprintf("shard%d.log", i))
+		}
+	}
+	return argv, logs, nil
 }
 
 func splitBackends(raw string) []string {

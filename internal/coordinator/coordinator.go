@@ -16,11 +16,24 @@
 // independently through their own WAL/snapshot stores, and an interrupted
 // delivery day is simply re-run — determinism makes the re-run
 // indistinguishable from an uninterrupted one.
+//
+// The fleet degrades rather than dies: a per-shard health model scores
+// transport silence (never HTTP answers — an error status still proves the
+// process alive), a shard that crosses the down threshold is quarantined out
+// of the fan-out, CRUD keeps flowing with its mutations journaled
+// (journal.go), and a resurrected shard re-earns admission through the
+// digest-gated rejoin protocol. Shard INDEX is pinned for the life of the
+// fleet: the delivery partition is position-mod-N in shard order, so a shard
+// is resurrected under its own index, never renumbered — renumbering would
+// silently re-partition every subsequent day.
 package coordinator
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -30,6 +43,7 @@ import (
 	"github.com/adaudit/impliedidentity/internal/marketing"
 	"github.com/adaudit/impliedidentity/internal/obs"
 	"github.com/adaudit/impliedidentity/internal/platform"
+	"github.com/adaudit/impliedidentity/internal/supervisor"
 )
 
 // Config shapes a Coordinator.
@@ -45,11 +59,25 @@ type Config struct {
 	// DayAttempts is how many times a delivery day is re-run from scratch
 	// after a shard failure before giving up. 0 defaults to 5.
 	DayAttempts int
-	// DayBackoff is the wait between day attempts, doubling per attempt
-	// (capped at 8x). 0 defaults to 2s.
+	// DayBackoff is the wait between day attempts, doubling per attempt.
+	// 0 defaults to 2s.
 	DayBackoff time.Duration
-	// Clock injects time for the day-retry backoff; nil is the system
-	// clock.
+	// DayBackoffMax caps the doubling (plus deterministic jitter derived
+	// from the day sequence, so coordinated fleets don't retry in
+	// lockstep). 0 defaults to 8x DayBackoff.
+	DayBackoffMax time.Duration
+	// JournalCap bounds the mutation catch-up journal; at capacity, new
+	// mutations are refused with ErrJournalFull (503 + Retry-After at the
+	// router) while a shard is down. 0 defaults to 256.
+	JournalCap int
+	// Health sets the failure-streak thresholds for the per-shard health
+	// model; zero values take supervisor defaults.
+	Health supervisor.Thresholds
+	// Transport, when set, replaces every backend client's HTTP transport —
+	// the chaos/fault injection seam (faults.NewTransport).
+	Transport http.RoundTripper
+	// Clock injects time for the day-retry backoff and MTTR accounting;
+	// nil is the system clock.
 	Clock marketing.Clock
 }
 
@@ -71,12 +99,24 @@ type Coordinator struct {
 	shards []*shardConn
 	reg    *obs.Registry
 	clock  marketing.Clock
+	health *supervisor.FleetHealth
 
 	// mu serializes mutating fan-outs and delivery days. Determinism needs
 	// identical mutation order on every backend; a thin coordinator buys it
-	// with a lock rather than a log.
+	// with a lock rather than a log. Rejoins also run under mu — a shard is
+	// readmitted only at a mutation boundary.
 	mu     sync.Mutex
 	daySeq atomic.Uint64
+
+	// admMu guards the admission set and the journal's structure for
+	// readers (topology, snapshots). Writers additionally hold mu; lock
+	// order is mu then admMu, never the reverse.
+	admMu    sync.Mutex
+	admitted []bool
+	journal  *mutationJournal
+
+	keyBase string
+	keySeq  atomic.Uint64
 }
 
 // New builds a coordinator over the configured backends.
@@ -90,6 +130,12 @@ func New(cfg Config, reg *obs.Registry) (*Coordinator, error) {
 	if cfg.DayBackoff <= 0 {
 		cfg.DayBackoff = 2 * time.Second
 	}
+	if cfg.DayBackoffMax <= 0 {
+		cfg.DayBackoffMax = 8 * cfg.DayBackoff
+	}
+	if cfg.JournalCap <= 0 {
+		cfg.JournalCap = 256
+	}
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
@@ -97,15 +143,29 @@ func New(cfg Config, reg *obs.Registry) (*Coordinator, error) {
 	if clock == nil {
 		clock = marketing.SystemClock
 	}
-	c := &Coordinator{cfg: cfg, reg: reg, clock: clock}
+	c := &Coordinator{
+		cfg:     cfg,
+		reg:     reg,
+		clock:   clock,
+		keyBase: fmt.Sprintf("fk-%08x", rand.Uint32()),
+	}
 	for i, u := range cfg.Backends {
 		cl, err := marketing.NewClient(u)
 		if err != nil {
 			return nil, fmt.Errorf("coordinator: backend %d: %w", i, err)
 		}
+		if cfg.Transport != nil {
+			cl.SetTransport(cfg.Transport)
+		}
 		cl.SetMetrics(reg)
 		c.shards = append(c.shards, &shardConn{index: i, url: u, client: cl, label: fmt.Sprintf("shard%d", i)})
 	}
+	c.health = supervisor.NewFleetHealth(len(c.shards), cfg.Health, reg, obs.Clock(clock))
+	c.admitted = make([]bool, len(c.shards))
+	for i := range c.admitted {
+		c.admitted[i] = true
+	}
+	c.journal = newMutationJournal(cfg.JournalCap)
 	return c, nil
 }
 
@@ -117,6 +177,9 @@ func (c *Coordinator) Backends() []string {
 	return append([]string(nil), c.cfg.Backends...)
 }
 
+// Health exposes the per-shard health model (the supervisor's scorekeeper).
+func (c *Coordinator) Health() *supervisor.FleetHealth { return c.health }
+
 // SetRetryPolicy applies one retry policy to every backend client.
 func (c *Coordinator) SetRetryPolicy(p marketing.RetryPolicy) {
 	for _, sc := range c.shards {
@@ -124,19 +187,122 @@ func (c *Coordinator) SetRetryPolicy(p marketing.RetryPolicy) {
 	}
 }
 
-// scatter runs fn against every shard with bounded concurrency and waits
-// for all of them, recording per-shard request/error counts and latency.
-// It returns the first error in shard order (deterministic even when
-// several shards fail at once).
-func (c *Coordinator) scatter(ctx context.Context, op string, fn func(ctx context.Context, sc *shardConn) error) error {
+// mintFleetKey makes a fleet-wide idempotency key for a mutation that
+// arrived without one, so every shard — including a future journal replay —
+// executes the mutation under the same key.
+func (c *Coordinator) mintFleetKey() string {
+	return fmt.Sprintf("%s-%d", c.keyBase, c.keySeq.Add(1))
+}
+
+// --- admission -------------------------------------------------------------
+
+// isAdmitted reports whether a shard is in the serving set.
+func (c *Coordinator) isAdmitted(shard int) bool {
+	c.admMu.Lock()
+	defer c.admMu.Unlock()
+	return c.admitted[shard]
+}
+
+// admissionSnapshot splits the fleet into admitted conns and quarantined
+// indexes.
+func (c *Coordinator) admissionSnapshot() (admitted []*shardConn, quarantined []int) {
+	c.admMu.Lock()
+	defer c.admMu.Unlock()
+	for i, sc := range c.shards {
+		if c.admitted[i] {
+			admitted = append(admitted, sc)
+		} else {
+			quarantined = append(quarantined, i)
+		}
+	}
+	return admitted, quarantined
+}
+
+// quarantinedIdx lists the quarantined shard indexes.
+func (c *Coordinator) quarantinedIdx() []int {
+	_, q := c.admissionSnapshot()
+	return q
+}
+
+// referenceConn is the first admitted shard — the replica the journal's
+// census bootstrap and the rejoin digest gate compare against. Nil when the
+// whole fleet is down.
+func (c *Coordinator) referenceConn() *shardConn {
+	c.admMu.Lock()
+	defer c.admMu.Unlock()
+	for i, sc := range c.shards {
+		if c.admitted[i] {
+			return sc
+		}
+	}
+	return nil
+}
+
+// Quarantine removes a shard from the serving set (idempotent; reports
+// whether this call did the removal) and marks it down in the health model.
+// CRUD keeps flowing without it — its missed mutations accumulate in the
+// journal until it rejoins.
+func (c *Coordinator) Quarantine(shard int) bool {
+	c.admMu.Lock()
+	was := c.admitted[shard]
+	c.admitted[shard] = false
+	c.admMu.Unlock()
+	if was {
+		c.health.MarkDown(shard)
+		c.reg.Counter(MetricQuarantines).Inc()
+	}
+	return was
+}
+
+// admit returns a shard to the serving set, drains its journal entries, and
+// closes its MTTR window.
+func (c *Coordinator) admit(shard int) {
+	c.admMu.Lock()
+	c.admitted[shard] = true
+	c.journal.dropShard(shard)
+	c.reg.Gauge(MetricJournalDepth).Set(int64(c.journal.depth()))
+	c.admMu.Unlock()
+	c.health.MarkHealthy(shard)
+}
+
+// ProbeShard is the supervisor's liveness probe: one unretried GET /healthz
+// against the shard.
+func (c *Coordinator) ProbeShard(ctx context.Context, shard int) error {
+	return c.shards[shard].client.Healthz(ctx)
+}
+
+// TryRejoin attempts the full rejoin protocol for a quarantined shard. It
+// needs the fleet mutex (rejoin is a mutation-order event) but will not wait
+// for it: while a delivery day holds the lock — minutes, with retries — the
+// supervisor should keep probing rather than block, so a busy fleet returns
+// supervisor.ErrBusy and the day's own retry preamble performs the rejoin
+// inline instead.
+func (c *Coordinator) TryRejoin(ctx context.Context, shard int) error {
+	if c.isAdmitted(shard) {
+		return nil
+	}
+	if !c.mu.TryLock() {
+		return supervisor.ErrBusy
+	}
+	defer c.mu.Unlock()
+	return c.rejoinLocked(ctx, shard)
+}
+
+// --- scatter ---------------------------------------------------------------
+
+// scatterEach runs fn against the given shards with bounded concurrency and
+// waits for all of them, recording per-shard request/error counts and
+// latency, and feeding each outcome to the health model. The returned slice
+// is indexed by shard index (full fleet width); untargeted shards stay nil.
+func (c *Coordinator) scatterEach(ctx context.Context, op string, targets []*shardConn, fn func(ctx context.Context, sc *shardConn) error) []error {
 	limit := c.cfg.MaxFanout
-	if limit <= 0 || limit > len(c.shards) {
-		limit = len(c.shards)
+	if limit <= 0 || limit > len(targets) {
+		limit = len(targets)
 	}
 	sem := make(chan struct{}, limit)
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
-	for _, sc := range c.shards {
+	for _, sc := range targets {
 		wg.Add(1)
 		go func(sc *shardConn) {
 			defer wg.Done()
@@ -146,6 +312,7 @@ func (c *Coordinator) scatter(ctx context.Context, op string, fn func(ctx contex
 			err := fn(ctx, sc)
 			c.reg.Histogram(MetricShardLatency + "|" + sc.label).Observe(c.clock.Now().Sub(start))
 			c.reg.Counter(MetricShardRequests + "|" + sc.label).Inc()
+			c.observeOutcome(sc.index, err)
 			if err != nil {
 				c.reg.Counter(MetricShardErrors + "|" + sc.label).Inc()
 				errs[sc.index] = fmt.Errorf("coordinator: %s on %s: %w", op, sc.label, err)
@@ -153,127 +320,170 @@ func (c *Coordinator) scatter(ctx context.Context, op string, fn func(ctx contex
 		}(sc)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	return errs
+}
+
+// observeOutcome feeds one RPC outcome into the health model. The scoring
+// doctrine: ANY HTTP answer — success, a terminal 4xx, an injected 5xx or
+// 429 — proves the process alive and resets the failure streak; only
+// transport silence (connection refused, timeout, a connection dropped
+// mid-body) counts toward down. This is what makes suspect-scoring
+// structurally flap-free under transient injected server errors. A caller
+// cancellation says nothing about the shard and is not scored.
+func (c *Coordinator) observeOutcome(shard int, err error) {
+	if err == nil {
+		c.health.Observe(shard, true)
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		return
+	}
+	var apiErr *marketing.APIError
+	c.health.Observe(shard, errors.As(err, &apiErr))
+}
+
+// scatter runs fn against the given shards and returns the first error in
+// shard order (deterministic even when several shards fail at once).
+func (c *Coordinator) scatter(ctx context.Context, op string, targets []*shardConn, fn func(ctx context.Context, sc *shardConn) error) error {
+	errs := c.scatterEach(ctx, op, targets, fn)
+	for _, sc := range targets {
+		if errs[sc.index] != nil {
+			return errs[sc.index]
 		}
 	}
 	return nil
 }
 
-// fanOutKey derives the backend idempotency key for one fan-out: the
-// caller's inbound key when it sent one (so a retried inbound request
-// converges on every shard), or empty to let each client mint its own.
-func fanOutKey(ctx context.Context, inboundKey string) context.Context {
-	if inboundKey == "" {
-		return ctx
-	}
-	return marketing.WithIdempotencyKey(ctx, inboundKey)
-}
+// --- replicated CRUD -------------------------------------------------------
 
-// CreateAudience fans an audience upload out to every shard and asserts the
-// shards matched identically.
+// CreateAudience fans an audience upload out to every admitted shard and
+// asserts the shards matched identically; quarantined shards catch up
+// through the journal.
 func (c *Coordinator) CreateAudience(ctx context.Context, inboundKey, name string, piiHashes []string) (*marketing.CreateAudienceResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*marketing.CreateAudienceResponse, len(c.shards))
-	err := c.scatter(ctx, "create audience", func(ctx context.Context, sc *shardConn) error {
-		resp, err := sc.client.CreateAudience(fanOutKey(ctx, inboundKey), name, piiHashes)
-		if err != nil {
-			return err
-		}
-		out[sc.index] = resp
-		return nil
+	resp, err := runMutation(ctx, c, mutationSpec[marketing.CreateAudienceResponse]{
+		op:         "create audience",
+		inboundKey: inboundKey,
+		call: func(ctx context.Context, sc *shardConn) (marketing.CreateAudienceResponse, error) {
+			r, err := sc.client.CreateAudience(ctx, name, piiHashes)
+			if err != nil {
+				return marketing.CreateAudienceResponse{}, err
+			}
+			return *r, nil
+		},
+		same: func(a, b marketing.CreateAudienceResponse) bool {
+			return a.ID == b.ID && a.MatchedSize == b.MatchedSize
+		},
+		render: func(r marketing.CreateAudienceResponse) string { return fmt.Sprintf("%+v", r) },
+		record: func(r marketing.CreateAudienceResponse) *journalEntry {
+			return &journalEntry{
+				kind:           entryAudience,
+				audienceName:   name,
+				audienceHashes: append([]string(nil), piiHashes...),
+				wantID:         r.ID,
+				wantMatched:    r.MatchedSize,
+			}
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i := 1; i < len(out); i++ {
-		if out[i].ID != out[0].ID || out[i].MatchedSize != out[0].MatchedSize {
-			return nil, divergence("audience create", c.shards[i], fmt.Sprintf("%+v", out[i]), fmt.Sprintf("%+v", out[0]))
-		}
-	}
-	return out[0], nil
+	return &resp, nil
 }
 
-// CreateCampaign fans a campaign create out to every shard.
+// CreateCampaign fans a campaign create out to every admitted shard.
 func (c *Coordinator) CreateCampaign(ctx context.Context, inboundKey string, req marketing.CreateCampaignRequest) (*marketing.CreateCampaignResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*marketing.CreateCampaignResponse, len(c.shards))
-	err := c.scatter(ctx, "create campaign", func(ctx context.Context, sc *shardConn) error {
-		resp, err := sc.client.CreateCampaign(fanOutKey(ctx, inboundKey), req)
-		if err != nil {
-			return err
-		}
-		out[sc.index] = resp
-		return nil
+	resp, err := runMutation(ctx, c, mutationSpec[marketing.CreateCampaignResponse]{
+		op:         "create campaign",
+		inboundKey: inboundKey,
+		call: func(ctx context.Context, sc *shardConn) (marketing.CreateCampaignResponse, error) {
+			r, err := sc.client.CreateCampaign(ctx, req)
+			if err != nil {
+				return marketing.CreateCampaignResponse{}, err
+			}
+			return *r, nil
+		},
+		same:   func(a, b marketing.CreateCampaignResponse) bool { return a.ID == b.ID },
+		render: func(r marketing.CreateCampaignResponse) string { return r.ID },
+		record: func(r marketing.CreateCampaignResponse) *journalEntry {
+			return &journalEntry{kind: entryCampaign, campaignReq: req, wantID: r.ID}
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i := 1; i < len(out); i++ {
-		if out[i].ID != out[0].ID {
-			return nil, divergence("campaign create", c.shards[i], out[i].ID, out[0].ID)
-		}
-	}
-	return out[0], nil
+	return &resp, nil
 }
 
-// CreateAd fans an ad create out to every shard. The review RNG is seeded
-// identically on every backend, so the review outcome must also agree.
+// CreateAd fans an ad create out to every admitted shard. The review RNG is
+// seeded identically on every backend, so the review outcome must also
+// agree.
 func (c *Coordinator) CreateAd(ctx context.Context, inboundKey string, req marketing.CreateAdRequest) (*marketing.AdResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*marketing.AdResponse, len(c.shards))
-	err := c.scatter(ctx, "create ad", func(ctx context.Context, sc *shardConn) error {
-		resp, err := sc.client.CreateAd(fanOutKey(ctx, inboundKey), req)
-		if err != nil {
-			return err
-		}
-		out[sc.index] = resp
-		return nil
+	resp, err := runMutation(ctx, c, mutationSpec[marketing.AdResponse]{
+		op:         "create ad",
+		inboundKey: inboundKey,
+		call: func(ctx context.Context, sc *shardConn) (marketing.AdResponse, error) {
+			r, err := sc.client.CreateAd(ctx, req)
+			if err != nil {
+				return marketing.AdResponse{}, err
+			}
+			return *r, nil
+		},
+		same: func(a, b marketing.AdResponse) bool {
+			return a.ID == b.ID && a.Status == b.Status
+		},
+		render: func(r marketing.AdResponse) string { return fmt.Sprintf("%+v", r) },
+		record: func(r marketing.AdResponse) *journalEntry {
+			return &journalEntry{kind: entryAd, adReq: req, wantID: r.ID, wantStatus: r.Status}
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i := 1; i < len(out); i++ {
-		if out[i].ID != out[0].ID || out[i].Status != out[0].Status {
-			return nil, divergence("ad create", c.shards[i], fmt.Sprintf("%+v", out[i]), fmt.Sprintf("%+v", out[0]))
-		}
-	}
-	return out[0], nil
+	return &resp, nil
 }
 
-// AppealAd fans an appeal out to every shard.
+// AppealAd fans an appeal out to every admitted shard.
 func (c *Coordinator) AppealAd(ctx context.Context, inboundKey, adID string) (*marketing.AdResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]*marketing.AdResponse, len(c.shards))
-	err := c.scatter(ctx, "appeal ad", func(ctx context.Context, sc *shardConn) error {
-		resp, err := sc.client.AppealAd(fanOutKey(ctx, inboundKey), adID)
-		if err != nil {
-			return err
-		}
-		out[sc.index] = resp
-		return nil
+	resp, err := runMutation(ctx, c, mutationSpec[marketing.AdResponse]{
+		op:         "appeal ad",
+		inboundKey: inboundKey,
+		call: func(ctx context.Context, sc *shardConn) (marketing.AdResponse, error) {
+			r, err := sc.client.AppealAd(ctx, adID)
+			if err != nil {
+				return marketing.AdResponse{}, err
+			}
+			return *r, nil
+		},
+		same:   func(a, b marketing.AdResponse) bool { return a.Status == b.Status },
+		render: func(r marketing.AdResponse) string { return r.Status },
+		record: func(r marketing.AdResponse) *journalEntry {
+			return &journalEntry{kind: entryAppeal, appealAdID: adID, wantStatus: r.Status}
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i := 1; i < len(out); i++ {
-		if out[i].Status != out[0].Status {
-			return nil, divergence("ad appeal", c.shards[i], out[i].Status, out[0].Status)
-		}
-	}
-	return out[0], nil
+	return &resp, nil
 }
 
-// GetAd reads an ad's status from the first shard that answers, in shard
-// order (reads need no quorum: shards are replicas of the CRUD state).
+// GetAd reads an ad's status from the first admitted shard that answers, in
+// shard order (reads need no quorum: shards are replicas of the CRUD state).
 func (c *Coordinator) GetAd(ctx context.Context, adID string) (*marketing.AdResponse, error) {
 	var lastErr error
+	asked := 0
 	for _, sc := range c.shards {
+		if !c.isAdmitted(sc.index) {
+			continue
+		}
+		asked++
 		resp, err := sc.client.GetAd(ctx, adID)
 		if err == nil {
 			return resp, nil
@@ -283,6 +493,9 @@ func (c *Coordinator) GetAd(ctx context.Context, adID string) (*marketing.AdResp
 			break // a terminal answer (404, validation) is the answer
 		}
 	}
+	if asked == 0 {
+		return nil, fmt.Errorf("coordinator: get ad %s: no admitted shards: %w", adID, ErrShardDown)
+	}
 	return nil, lastErr
 }
 
@@ -290,9 +503,17 @@ func (c *Coordinator) GetAd(ctx context.Context, adID string) (*marketing.AdResp
 // (shards own disjoint users, so impressions, reach, clicks, and every
 // breakdown cell add), while SpendCents — written identically to all shards
 // at day finish — must agree to the bit and passes through.
+//
+// Unlike the replicated CRUD state, delivery counts are PARTITIONED: each
+// shard's slice exists nowhere else, so insights cannot be served while any
+// shard is quarantined — the merge would silently under-count. Callers get
+// a typed retryable error until the fleet heals.
 func (c *Coordinator) Insights(ctx context.Context, adID string, dims []string) (*marketing.InsightsResponse, error) {
+	if q := c.quarantinedIdx(); len(q) > 0 {
+		return nil, fmt.Errorf("coordinator: insights for %s need the full fleet, shards %v quarantined: %w", adID, q, ErrShardDown)
+	}
 	out := make([]*marketing.InsightsResponse, len(c.shards))
-	err := c.scatter(ctx, "insights", func(ctx context.Context, sc *shardConn) error {
+	err := c.scatter(ctx, "insights", c.shards, func(ctx context.Context, sc *shardConn) error {
 		var resp *marketing.InsightsResponse
 		var err error
 		if len(dims) == 0 {
@@ -359,12 +580,17 @@ func mergeInsights(shards []*shardConn, parts []*marketing.InsightsResponse) (*m
 	return m, nil
 }
 
-// Inventory fans the object census out to every shard and asserts the
-// shards agree — the cheap convergence check the multi-process smoke test
-// leans on.
+// Inventory fans the object census out to every admitted shard and asserts
+// they agree — the cheap convergence check the multi-process smoke test
+// leans on. (CRUD state is replicated, so any admitted subset answers for
+// the fleet; quarantined shards are behind by exactly the journal.)
 func (c *Coordinator) Inventory(ctx context.Context) (*platform.Inventory, error) {
+	admitted, _ := c.admissionSnapshot()
+	if len(admitted) == 0 {
+		return nil, fmt.Errorf("coordinator: inventory: no admitted shards: %w", ErrShardDown)
+	}
 	out := make([]*platform.Inventory, len(c.shards))
-	err := c.scatter(ctx, "inventory", func(ctx context.Context, sc *shardConn) error {
+	err := c.scatter(ctx, "inventory", admitted, func(ctx context.Context, sc *shardConn) error {
 		inv, err := sc.client.Inventory(ctx)
 		if err != nil {
 			return err
@@ -375,13 +601,19 @@ func (c *Coordinator) Inventory(ctx context.Context) (*platform.Inventory, error
 	if err != nil {
 		return nil, err
 	}
-	for i := 1; i < len(out); i++ {
-		if out[i].Audiences != out[0].Audiences || out[i].Campaigns != out[0].Campaigns ||
-			out[i].Ads != out[0].Ads || strings.Join(out[i].CampaignNames, ",") != strings.Join(out[0].CampaignNames, ",") {
-			return nil, divergence("inventory", c.shards[i], fmt.Sprintf("%+v", *out[i]), fmt.Sprintf("%+v", *out[0]))
+	var ref *platform.Inventory
+	for _, sc := range admitted {
+		inv := out[sc.index]
+		if ref == nil {
+			ref = inv
+			continue
+		}
+		if inv.Audiences != ref.Audiences || inv.Campaigns != ref.Campaigns ||
+			inv.Ads != ref.Ads || strings.Join(inv.CampaignNames, ",") != strings.Join(ref.CampaignNames, ",") {
+			return nil, divergence("inventory", sc, fmt.Sprintf("%+v", *inv), fmt.Sprintf("%+v", *ref))
 		}
 	}
-	return out[0], nil
+	return ref, nil
 }
 
 // divergence builds the error for shards that disagree on what must be
@@ -389,5 +621,5 @@ func (c *Coordinator) Inventory(ctx context.Context) (*platform.Inventory, error
 // backend executed a mutation the others did not (or runs different code /
 // a different world seed) and needs operator attention, not a retry.
 func divergence(what string, sc *shardConn, got, want string) error {
-	return fmt.Errorf("coordinator: %s diverged on %s (%s): got %s, want %s (shard0)", what, sc.label, sc.url, got, want)
+	return fmt.Errorf("coordinator: %s diverged on %s (%s): got %s, want %s (reference)", what, sc.label, sc.url, got, want)
 }

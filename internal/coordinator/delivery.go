@@ -21,9 +21,11 @@ package coordinator
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"github.com/adaudit/impliedidentity/internal/faults"
 	"github.com/adaudit/impliedidentity/internal/marketing"
 	"github.com/adaudit/impliedidentity/internal/platform"
 )
@@ -40,25 +42,36 @@ type dayRecord struct {
 
 // Deliver runs one coordinated delivery day over all shards, re-running it
 // after shard failures until it commits everywhere or attempts run out.
+// Every shard must be admitted for a fresh attempt to start — the delivery
+// partition is position-mod-N over ALL shards, so a day cannot simply skip a
+// quarantined one. Between attempts the loop performs the rejoin protocol
+// inline (it already holds the fleet mutex the supervisor's TryRejoin would
+// contend on), which is how a day survives a mid-day shard crash: the shard
+// is relaunched by the supervisor, rejoined here, and the day re-runs
+// byte-identically.
 func (c *Coordinator) Deliver(ctx context.Context, adIDs []string, seed int64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	start := c.clock.Now()
-	backoff := c.cfg.DayBackoff
+	daySeq := c.daySeq.Add(1)
 	var rec *dayRecord
 	var lastErr error
 	for attempt := 1; attempt <= c.cfg.DayAttempts; attempt++ {
 		if attempt > 1 {
 			c.reg.Counter(MetricDayRestarts).Inc()
+			c.reg.Counter(MetricDayRetries).Inc()
 			// Holding c.mu across the backoff is the point, not an accident:
 			// the lock freezes fleet-wide CRUD for the whole day including its
 			// retries, because a mutation slipping between two attempts would
 			// make the re-run a *different* (non-replayable) day.
-			c.clock.Sleep(backoff) //adlint:allow lockhold (day retries must keep fleet CRUD frozen; a mutation between attempts would change the re-run day)
-			if backoff < 8*c.cfg.DayBackoff {
-				backoff *= 2
-			}
+			c.clock.Sleep(c.dayBackoff(daySeq, attempt)) //adlint:allow lockhold (day retries must keep fleet CRUD frozen; a mutation between attempts would change the re-run day)
 		}
+		// Heal before retrying: quarantined shards that answer a probe again
+		// are walked through the rejoin protocol under the lock we already
+		// hold. A rejoin that fails (still dead, digest gap from a partial
+		// commit) leaves the shard quarantined; the partial-commit replay
+		// below converges the day state so a later pass can succeed.
+		c.rejoinQuarantinedLocked(ctx)
 		var err error
 		committed, pending, statusErr := c.dayStatus(ctx, adIDs, attempt)
 		switch {
@@ -70,14 +83,21 @@ func (c *Coordinator) Deliver(ctx context.Context, adIDs []string, seed int64) e
 			err = nil
 		case len(pending) > 0 && len(pending) < len(c.shards):
 			// Partial commit: a shard died inside the finish fan-out after
-			// others committed. Replay the recorded day on the stragglers.
+			// others committed. Replay the recorded day on the stragglers —
+			// admission does not gate this path, because the replay targets
+			// the pending shards directly and is exactly what converges a
+			// quarantined shard's day state.
 			if rec == nil || rec.cents == nil {
 				return fmt.Errorf("coordinator: day partially committed with no replayable record (shards %v pending): %w", pending, lastErr)
 			}
 			err = c.replayDay(ctx, rec, pending)
+		case len(c.quarantinedIdx()) > 0:
+			// A fresh attempt needs the whole fleet: the day's user partition
+			// spans every shard index.
+			err = fmt.Errorf("coordinator: day needs full fleet, shards %v quarantined: %w", c.quarantinedIdx(), ErrShardDown)
 		default:
 			rec = &dayRecord{
-				session: fmt.Sprintf("day-%d-%d", seed, c.daySeq.Add(1)),
+				session: fmt.Sprintf("day-%d-%d", seed, daySeq),
 				adIDs:   adIDs,
 				seed:    seed,
 			}
@@ -95,13 +115,50 @@ func (c *Coordinator) Deliver(ctx context.Context, adIDs []string, seed int64) e
 		if ctx.Err() != nil {
 			return lastErr
 		}
-		if !marketing.Retryable(err) && !marketing.IsSessionConflict(err) {
+		if !marketing.Retryable(err) && !marketing.IsSessionConflict(err) && !errors.Is(err, ErrShardDown) {
 			// Terminal API answer (validation, divergence): re-running the
 			// day would only repeat it.
 			return lastErr
 		}
 	}
-	return fmt.Errorf("coordinator: delivery day failed after %d attempts: %w", c.cfg.DayAttempts, lastErr)
+	return fmt.Errorf("%w: %d attempts: %w", ErrDayExhausted, c.cfg.DayAttempts, lastErr)
+}
+
+// dayBackoff is the wait before retry `attempt`: exponential from DayBackoff,
+// capped at DayBackoffMax, with deterministic jitter mixed from the day
+// sequence and attempt number — reproducible in tests (injected clock, fixed
+// sequence), yet de-synchronized across days and fleets.
+func (c *Coordinator) dayBackoff(daySeq uint64, attempt int) time.Duration {
+	backoff := c.cfg.DayBackoff << uint(attempt-2) // attempt 2 waits DayBackoff
+	if backoff <= 0 || backoff > c.cfg.DayBackoffMax {
+		backoff = c.cfg.DayBackoffMax
+	}
+	// Jitter in [0, backoff/2): derived, not sampled, so a replayed test run
+	// waits exactly as long as the original.
+	jitter := time.Duration(faults.Mix64(int64(daySeq), uint64(attempt)) % uint64(backoff/2+1))
+	backoff += jitter
+	if backoff > c.cfg.DayBackoffMax {
+		backoff = c.cfg.DayBackoffMax
+	}
+	return backoff
+}
+
+// rejoinQuarantinedLocked probes every quarantined shard and runs the rejoin
+// protocol for the ones that answer. Called with c.mu held (Deliver's retry
+// preamble); failures leave the shard quarantined for a later pass or the
+// supervisor.
+func (c *Coordinator) rejoinQuarantinedLocked(ctx context.Context) {
+	for _, idx := range c.quarantinedIdx() {
+		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		err := c.ProbeShard(pctx, idx)
+		cancel()
+		c.observeOutcome(idx, err)
+		if err != nil {
+			continue
+		}
+		c.health.MarkRecovering(idx)
+		_ = c.rejoinLocked(ctx, idx)
+	}
 }
 
 // runDayOnce runs one full day attempt across all shards, recording the
@@ -109,7 +166,7 @@ func (c *Coordinator) Deliver(ctx context.Context, adIDs []string, seed int64) e
 func (c *Coordinator) runDayOnce(ctx context.Context, rec *dayRecord) error {
 	shards := len(c.shards)
 	inits := make([]*platform.DayInit, shards)
-	err := c.scatter(ctx, "begin day", func(ctx context.Context, sc *shardConn) error {
+	err := c.scatter(ctx, "begin day", c.shards, func(ctx context.Context, sc *shardConn) error {
 		init, err := sc.client.BeginDay(ctx, marketing.BeginDayRequest{
 			Session: rec.session,
 			AdIDs:   rec.adIDs,
@@ -139,7 +196,7 @@ func (c *Coordinator) runDayOnce(ctx context.Context, rec *dayRecord) error {
 		dirs := ctrl.TickDirectives(tick)
 		rec.dirs = append(rec.dirs, dirs)
 		perShard := make([][]float64, shards)
-		err := c.scatter(ctx, "day tick", func(ctx context.Context, sc *shardConn) error {
+		err := c.scatter(ctx, "day tick", c.shards, func(ctx context.Context, sc *shardConn) error {
 			rep, err := sc.client.DayTick(ctx, marketing.DayTickRequest{Session: rec.session, Tick: tick, Directives: dirs})
 			if err != nil {
 				return err
@@ -157,7 +214,7 @@ func (c *Coordinator) runDayOnce(ctx context.Context, rec *dayRecord) error {
 	}
 
 	rec.cents = ctrl.SpendCents()
-	return c.scatter(ctx, "finish day", func(ctx context.Context, sc *shardConn) error {
+	return c.scatter(ctx, "finish day", c.shards, func(ctx context.Context, sc *shardConn) error {
 		return sc.client.FinishDay(ctx, rec.session, rec.cents)
 	})
 }
@@ -238,7 +295,7 @@ func (c *Coordinator) allShards() []int {
 func (c *Coordinator) abortDay(session string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	_ = c.scatter(ctx, "abort day", func(ctx context.Context, sc *shardConn) error {
+	_ = c.scatter(ctx, "abort day", c.shards, func(ctx context.Context, sc *shardConn) error {
 		_ = sc.client.AbortDay(ctx, session)
 		return nil
 	})

@@ -20,10 +20,13 @@ import (
 	"github.com/adaudit/impliedidentity/internal/obs"
 )
 
-// TopologyResponse describes the fleet behind the router.
+// TopologyResponse describes the fleet behind the router, including each
+// shard's health state and whether it is currently admitted to the fan-out.
 type TopologyResponse struct {
 	Shards   int      `json:"shards"`
 	Backends []string `json:"backends"`
+	Health   []string `json:"health,omitempty"`
+	Admitted []bool   `json:"admitted,omitempty"`
 }
 
 // deliverTimeout caps a coordinated delivery day's wall time, separately
@@ -90,11 +93,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// degradedRetryAfter is the Retry-After hint for fleet-degradation 503s:
+// roughly one supervisor probe/rejoin cycle, so a well-behaved client's next
+// idempotent retry lands after the fleet had a chance to heal.
+const degradedRetryAfter = "2"
+
 // writeRouterError maps a coordinator error onto the wire. Backend API
 // answers pass through with their own status (the router adds nothing to a
-// 400/404/409); everything else — transport failures, open breakers,
-// divergence — is the router's own 502.
+// 400/404/409); fleet-degradation errors — a quarantined shard, a full
+// catch-up journal, an exhausted day budget — are 503 + Retry-After, the
+// "try again after the fleet heals" contract idempotent clients compose
+// with; everything else — transport failures, open breakers, divergence —
+// is the router's own 502.
 func writeRouterError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrShardDown) || errors.Is(err, ErrJournalFull) || errors.Is(err, ErrDayExhausted) {
+		w.Header().Set("Retry-After", degradedRetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, marketing.ErrorResponse{Error: err.Error()})
+		return
+	}
 	code := http.StatusBadGateway
 	var apiErr *marketing.APIError
 	if errors.As(err, &apiErr) {
@@ -223,7 +239,19 @@ func (rt *Router) handleInsights(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleTopology(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, TopologyResponse{Shards: rt.c.Shards(), Backends: rt.c.Backends()})
+	states := rt.c.Health().States()
+	health := make([]string, len(states))
+	admitted := make([]bool, len(states))
+	for i, st := range states {
+		health[i] = st.String()
+		admitted[i] = rt.c.isAdmitted(i)
+	}
+	writeJSON(w, http.StatusOK, TopologyResponse{
+		Shards:   rt.c.Shards(),
+		Backends: rt.c.Backends(),
+		Health:   health,
+		Admitted: admitted,
+	})
 }
 
 func (rt *Router) handleInventory(w http.ResponseWriter, r *http.Request) {

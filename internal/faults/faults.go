@@ -177,6 +177,14 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Mix64 maps (seed, slot) to schedule bits — the stateless seeded-schedule
+// idiom every deterministic disturbance in this repo shares (the fault
+// schedule here, the chaos action schedule in internal/chaos, the per-shard
+// RNG streams in the delivery engine).
+func Mix64(seed int64, slot uint64) uint64 {
+	return splitmix64(uint64(seed) ^ splitmix64(slot))
+}
+
 // ScheduleAt returns slot i of the fault schedule: a pure function of the
 // injector's seed and configuration, independent of any requests already
 // served. Reproducibility tests and replay tooling read the schedule

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newBackend(t *testing.T) (*httptest.Server, string, *int) {
+	t.Helper()
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatalf("parse backend url: %v", err)
+	}
+	return srv, u.Host, &hits
+}
+
+// A partitioned host errors without touching the wire — for EVERY path,
+// /healthz included: a partition must fail probes, or the supervisor would
+// score a cut-off shard healthy.
+func TestGatePartitionBlocksAllPaths(t *testing.T) {
+	srv, host, hits := newBackend(t)
+	gate := NewGate()
+	client := &http.Client{Transport: NewTransport(nil, nil, gate)}
+
+	gate.SetPartition(host, true)
+	for _, path := range []string{"/v1/ads", "/healthz", "/metrics"} {
+		resp, err := client.Get(srv.URL + path)
+		if err == nil {
+			resp.Body.Close()
+			t.Fatalf("partitioned GET %s succeeded", path)
+		}
+		var pe *partitionError
+		if !errors.As(err, &pe) {
+			t.Fatalf("partitioned GET %s: %v, want partitionError", path, err)
+		}
+	}
+	if *hits != 0 {
+		t.Fatalf("partitioned requests reached the backend %d times", *hits)
+	}
+
+	gate.SetPartition(host, false)
+	resp, err := client.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("after lifting partition: %v", err)
+	}
+	resp.Body.Close()
+	if *hits != 1 {
+		t.Fatalf("lifted partition: %d backend hits, want 1", *hits)
+	}
+}
+
+func TestGateSlowDelays(t *testing.T) {
+	srv, host, _ := newBackend(t)
+	gate := NewGate()
+	client := &http.Client{Transport: NewTransport(nil, nil, gate)}
+	gate.SetSlow(host, 30*time.Millisecond)
+	start := time.Now()
+	resp, err := client.Get(srv.URL + "/v1/ads")
+	if err != nil {
+		t.Fatalf("slow GET: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("slowed request took %v, want >= 30ms", d)
+	}
+	gate.SetSlow(host, 0)
+}
+
+// The injector schedule applies client-side: rejections are synthesized
+// (with the API error envelope and Retry-After on 429s) without a round
+// trip, and exempt paths skip the schedule.
+func TestTransportInjectsRejections(t *testing.T) {
+	srv, _, hits := newBackend(t)
+	inj, err := New(Config{Seed: 5, Rate: 1, Kinds: []Kind{KindReject429}, RetryAfter: 3 * time.Second}, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	client := &http.Client{Transport: NewTransport(nil, inj, nil)}
+
+	resp, err := client.Get(srv.URL + "/v1/ads")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After %q, want 3", got)
+	}
+	if *hits != 0 {
+		t.Fatalf("rejected request reached the backend")
+	}
+
+	// Exempt paths skip the schedule even at rate 1.
+	resp2, err := client.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("exempt GET: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || *hits != 1 {
+		t.Fatalf("exempt path disturbed: status %d, hits %d", resp2.StatusCode, *hits)
+	}
+}
+
+// A client-side drop executes the request for real — the backend's side
+// effect happens — then reports a transport error.
+func TestTransportDropExecutesThenFails(t *testing.T) {
+	srv, _, hits := newBackend(t)
+	inj, err := New(Config{Seed: 5, Rate: 1, Kinds: []Kind{KindDrop}}, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	client := &http.Client{Transport: NewTransport(nil, inj, nil)}
+	_, err = client.Get(srv.URL + "/v1/ads")
+	if err == nil {
+		t.Fatalf("dropped request returned a response")
+	}
+	if !strings.Contains(err.Error(), "injected connection drop") {
+		t.Fatalf("drop error: %v", err)
+	}
+	if *hits != 1 {
+		t.Fatalf("dropped request backend hits %d, want 1 (executed then discarded)", *hits)
+	}
+}
+
+// Mix64 is the shared seeded-schedule primitive: pure and seed-sensitive.
+func TestMix64(t *testing.T) {
+	if Mix64(1, 2) != Mix64(1, 2) {
+		t.Fatalf("Mix64 not pure")
+	}
+	if Mix64(1, 2) == Mix64(2, 2) || Mix64(1, 2) == Mix64(1, 3) {
+		t.Fatalf("Mix64 insensitive to seed or slot")
+	}
+}

@@ -242,6 +242,22 @@ func (c *Client) SetBreakerPolicy(p BreakerPolicy) {
 	c.mu.Unlock()
 }
 
+// SetTransport replaces the client's underlying HTTP transport (nil
+// restores the default). A router injects client-side network chaos — the
+// faults.Transport with its seeded schedule and partition gate — onto its
+// whole shard path this way. Call it before the client's first request; the
+// transport is not guarded for mid-flight swaps.
+func (c *Client) SetTransport(rt http.RoundTripper) {
+	c.http.Transport = rt
+}
+
+// Healthz performs one liveness probe (GET /healthz): a single attempt with
+// no retries, no backoff, and no breaker involvement, so a supervisor's
+// probe loop observes the raw transport outcome on its own cadence.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.once(ctx, http.MethodGet, "/healthz", nil, "", nil)
+}
+
 // SetMetrics points the client's resilience counters (retries, breaker
 // rejections) at reg, so a load generator can fold them into its report.
 // Nil restores a private registry.

@@ -42,11 +42,14 @@ func (ic *IdempotencyCache) Middleware(reg *obs.Registry, next http.Handler) htt
 }
 
 // idemEntry memoizes one execution's response. done closes when the first
-// execution finishes; status/contentType/body are immutable afterwards.
+// execution finishes; the response fields are immutable afterwards.
+// Retry-After rides along with the status: a 503 whose header is dropped in
+// replay would strip the client's backoff hint.
 type idemEntry struct {
 	done        chan struct{}
 	status      int
 	contentType string
+	retryAfter  string
 	body        []byte
 }
 
@@ -111,6 +114,7 @@ func (ic *idemCache) middleware(reg *obs.Registry, next http.Handler) http.Handl
 		}()
 		e.status = rec.status
 		e.contentType = rec.header.Get("Content-Type")
+		e.retryAfter = rec.header.Get("Retry-After")
 		e.body = rec.body
 		if e.status >= 500 {
 			// Don't memoize failures: the client's retry (same key) should
@@ -145,6 +149,9 @@ func (ic *idemCache) evictOneLocked() {
 func replayResponse(w http.ResponseWriter, e *idemEntry) {
 	if e.contentType != "" {
 		w.Header().Set("Content-Type", e.contentType)
+	}
+	if e.retryAfter != "" {
+		w.Header().Set("Retry-After", e.retryAfter)
 	}
 	w.WriteHeader(e.status)
 	_, _ = w.Write(e.body)

@@ -142,11 +142,18 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/shard/delivery/tick", s.handleDayTick)
 	handle("POST /v1/shard/delivery/finish", s.handleFinishDay)
 	handle("POST /v1/shard/delivery/abort", s.handleAbortDay)
+	// Rejoin handshake: state digest + census for the supervisor's
+	// digest-gated readmission of a resurrected shard.
+	handle("GET /v1/shard/status", s.handleShardStatus)
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
 	mux.Handle("GET /healthz", obs.HealthzHandler(s.reg))
 	// Operational census, not part of the advertiser API: the crash-recovery
 	// smoke test diffs it across a kill/restart.
 	mux.HandleFunc("GET /debug/inventory", s.handleInventory)
+	// Full serialized account state — the exact bytes the rejoin digest
+	// hashes. A digest-gate failure is undiagnosable from the hash alone;
+	// diffing two shards' /debug/state dumps names the diverging field.
+	mux.HandleFunc("GET /debug/state", s.handleState)
 	return mux
 }
 
@@ -316,6 +323,10 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleInventory(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.p.Inventory())
+}
+
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.State())
 }
 
 func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {

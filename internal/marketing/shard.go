@@ -14,6 +14,9 @@ package marketing
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"net/http"
 
@@ -152,6 +155,54 @@ func (c *Client) FinishDay(ctx context.Context, session string, spendCents []flo
 // session succeeds.
 func (c *Client) AbortDay(ctx context.Context, session string) error {
 	return c.do(ctx, http.MethodPost, "/v1/shard/delivery/abort", AbortDayRequest{Session: session}, nil)
+}
+
+// ShardStatusResponse is the rejoin handshake (GET /v1/shard/status): the
+// cheap world fingerprint (NumUsers), the replicated-CRUD census, whether a
+// coordinated day session is open, and a digest of the REPLICATED account
+// state — audiences, campaigns, ads, and the ID-allocator cursor. Two
+// healthy shards hold byte-identical copies of those (the State
+// serialization is a deep copy with deterministic ordering), so the digest
+// is the coordinator's gate for readmitting a resurrected shard.
+//
+// Per-shard delivery tallies (State.Stats) are deliberately EXCLUDED: in a
+// coordinated day each shard delivers only its user partition, so two
+// correct shards hold complementary — different — tallies, and hashing them
+// would make the gate unpassable after the first committed day. Their
+// durability is the WAL barrier's contract, and fleet-level delivery
+// agreement is asserted end-to-end on the merged insights surface (the
+// differential soak digest), not shard-by-shard.
+type ShardStatusResponse struct {
+	NumUsers      int                `json:"num_users"`
+	StateDigest   string             `json:"state_digest"`
+	Inventory     platform.Inventory `json:"inventory"`
+	SessionActive bool               `json:"session_active"`
+}
+
+func (s *Server) handleShardStatus(w http.ResponseWriter, _ *http.Request) {
+	st := s.p.State()
+	st.Stats = nil // partitioned, not replicated — see ShardStatusResponse
+	raw, err := json.Marshal(st)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sum := sha256.Sum256(raw)
+	writeJSON(w, http.StatusOK, ShardStatusResponse{
+		NumUsers:      s.p.NumUsers(),
+		StateDigest:   hex.EncodeToString(sum[:]),
+		Inventory:     s.p.Inventory(),
+		SessionActive: s.p.SessionActive(),
+	})
+}
+
+// ShardStatus fetches the rejoin handshake from this backend.
+func (c *Client) ShardStatus(ctx context.Context) (*ShardStatusResponse, error) {
+	var out ShardStatusResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/shard/status", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Inventory fetches the backend's operational object census

@@ -269,6 +269,15 @@ func (p *Platform) AbortDaySession(session string) error {
 	return nil
 }
 
+// SessionActive reports whether a coordinated day session is currently open
+// on this shard — a mid-recovery signal the rejoin handshake surfaces so a
+// supervisor never readmits a shard that is still inside someone's day.
+func (p *Platform) SessionActive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.session != nil
+}
+
 // sessionLocked resolves a session name to the active session; the caller
 // holds p.mu.
 func (p *Platform) sessionLocked(session string) (*daySession, error) {

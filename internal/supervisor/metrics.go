@@ -1,0 +1,26 @@
+package supervisor
+
+// Supervisor metric names. Per-shard series use the registry's "name|label"
+// convention with the static shardN label set.
+const (
+	// MetricShardState is the numeric health state per shard
+	// (0 healthy, 1 suspect, 2 down, 3 recovering), labeled per shard.
+	MetricShardState = "supervisor.shard.state"
+	// MetricTransitions counts state transitions, labeled by target state.
+	MetricTransitions = "supervisor.transitions"
+	// MetricMTTR is the down-detection→verified-readmission latency.
+	MetricMTTR = "supervisor.mttr"
+	// MetricProbes counts liveness probes sent.
+	MetricProbes = "supervisor.probes"
+	// MetricProbeFailures counts probes with no HTTP answer.
+	MetricProbeFailures = "supervisor.probe_failures"
+	// MetricRelaunches counts shard process relaunches initiated.
+	MetricRelaunches = "supervisor.relaunches"
+	// MetricRelaunchFailures counts relaunches that could not start.
+	MetricRelaunchFailures = "supervisor.relaunch_failures"
+	// MetricRejoins counts completed rejoins (journal replay + digest gate).
+	MetricRejoins = "supervisor.rejoins"
+	// MetricRejoinFailures counts rejoin attempts that failed the replay or
+	// the digest gate.
+	MetricRejoinFailures = "supervisor.rejoin_failures"
+)
