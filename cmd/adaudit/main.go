@@ -12,10 +12,11 @@
 //	adaudit -csv out/ run table3     # also dump per-ad deliveries as CSV
 //
 // Targets: table1 table2 table3 table4a table4b table4c table5 tableA1
-// fig1 fig2 fig3 fig4 fig5 fig6 fig7 ablations all
+// fig1 fig2 fig3 fig4 fig5 fig6 fig7 ablations privacy all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ func run(args []string) error {
 	scaleName := fs.String("scale", "full", "simulation scale: test, bench, or full")
 	seed := fs.Int64("seed", 1, "master seed for the simulated world")
 	csvDir := fs.String("csv", "", "directory to write per-ad delivery CSVs into (optional)")
+	benchPath := fs.String("bench", "", "path to write the privacy skew-detectability record as JSON (privacy target)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,7 +52,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := &runner{scale: scale, seed: *seed, csvDir: *csvDir}
+	r := &runner{scale: scale, seed: *seed, csvDir: *csvDir, benchPath: *benchPath}
 	defer r.close()
 	return r.run(strings.ToLower(rest[1]))
 }
@@ -70,9 +72,10 @@ func parseScale(s string) (core.Scale, error) {
 // runner lazily builds the lab and caches experiment results so `run all`
 // executes each campaign exactly once.
 type runner struct {
-	scale  core.Scale
-	seed   int64
-	csvDir string
+	scale     core.Scale
+	seed      int64
+	csvDir    string
+	benchPath string
 
 	lab         *core.Lab
 	stock       *core.StockResult
@@ -249,13 +252,14 @@ func (r *runner) run(target string) error {
 		"feedback":   r.feedback,
 		"verify":     r.verify,
 		"power":      r.power,
+		"privacy":    r.privacy,
 	}
 	if target == "all" {
 		order := []string{
 			"table1", "table3", "fig3", "table4a", "fig4", "table4b",
 			"fig6", "fig5", "table4c", "fig1", "fig7", "table5",
 			"tablea1", "fig2", "table2", "objectives", "groups",
-			"lookalike", "feedback", "power", "ablations", "verify",
+			"lookalike", "feedback", "power", "privacy", "ablations", "verify",
 		}
 		for _, t := range order {
 			if err := handlers[t](); err != nil {
@@ -514,6 +518,65 @@ func (r *runner) power() error {
 		return err
 	}
 	fmt.Printf("pairs needed for 95%% power on the paper's 18-point race effect: %d (paper ran 50)\n", k)
+	return nil
+}
+
+func (r *runner) privacy() error {
+	stock, err := r.ensureStock()
+	if err != nil {
+		return err
+	}
+	lab, err := r.ensureLab()
+	if err != nil {
+		return err
+	}
+	fmt.Println("running the skew-detectability sweep: re-reading Campaign 1 at each privacy level...")
+	res, err := core.RunPrivacySweep(lab, stock.Run, core.PrivacySweepOptions{Seed: r.seed + 1000})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Privacy skew-detectability sweep (scale=%s, α=%.2f, target power %.0f%%)\n",
+		res.Scale, res.Alpha, 100*res.TargetPower)
+	fmt.Printf("baseline: race gap %+.4f, gender gap %+.4f, ≈%d impressions/ad, %d pairs/group\n",
+		res.BaselineRaceGap, res.BaselineGenderGap, res.ImpressionsPerAd, res.PairsPerGroup)
+	fmt.Printf("%-10s %5s %7s %6s %6s %7s %9s %8s %9s %8s %7s %9s\n",
+		"level", "k", "eps", "meas", "supp", "cells", "raceGap", "raceP", "genderGap", "genderP", "power", "minImps")
+	for _, c := range res.Cells {
+		eps := "∞"
+		if c.Epsilon > 0 {
+			eps = fmt.Sprintf("%.1f", c.Epsilon)
+		}
+		mark := func(measured, detected bool, p float64) string {
+			if !measured {
+				return "—"
+			}
+			s := fmt.Sprintf("%.3f", p)
+			if detected {
+				s += "*"
+			}
+			return s
+		}
+		minImps := "—"
+		if c.MinImpressionsPerAd > 0 {
+			minImps = fmt.Sprintf("%d", c.MinImpressionsPerAd)
+		}
+		fmt.Printf("%-10s %5d %7s %6d %6d %7d %+9.4f %8s %+9.4f %8s %6.1f%% %9s\n",
+			c.Level, c.K, eps, c.MeasurableAds, c.SuppressedAds, c.SuppressedCellsTotal,
+			c.RaceGap, mark(c.RaceMeasured, c.RaceDetected, c.RaceP),
+			c.GenderGap, mark(c.GenderMeasured, c.GenderDetected, c.GenderP),
+			100*c.AnalyticPower, minImps)
+	}
+	fmt.Println("(* = skew detected at α; power and minImps are the analytic model at the baseline effect size)")
+	if r.benchPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(r.benchPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", r.benchPath)
+	}
 	return nil
 }
 

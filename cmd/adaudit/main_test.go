@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -80,7 +83,8 @@ func TestScaledBehavior(t *testing.T) {
 func TestRunnerAllTargetsEndToEnd(t *testing.T) {
 	// One runner, every artifact handler, sharing the lab and campaigns the
 	// way `run all` does. This is the CLI's integration test.
-	r := &runner{scale: core.ScaleTest, seed: 21, csvDir: t.TempDir()}
+	benchPath := filepath.Join(t.TempDir(), "bench_privacy.json")
+	r := &runner{scale: core.ScaleTest, seed: 21, csvDir: t.TempDir(), benchPath: benchPath}
 	defer r.close()
 	handlers := []struct {
 		name string
@@ -105,11 +109,36 @@ func TestRunnerAllTargetsEndToEnd(t *testing.T) {
 		{"groups", r.groups},
 		{"lookalike", r.lookalike},
 		{"power", r.power},
+		{"privacy", r.privacy},
 		{"verify", r.verify},
 	}
 	for _, h := range handlers {
 		if err := h.fn(); err != nil {
 			t.Fatalf("%s: %v", h.name, err)
 		}
+	}
+
+	// The privacy target must have recorded a parseable sweep with the full
+	// 3×3 grid and the baseline (off) level included.
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatalf("privacy bench record: %v", err)
+	}
+	var sweep core.PrivacySweepResult
+	if err := json.Unmarshal(data, &sweep); err != nil {
+		t.Fatalf("privacy bench record does not parse: %v", err)
+	}
+	if sweep.Schema != core.PrivacySweepSchema {
+		t.Errorf("bench schema = %q, want %q", sweep.Schema, core.PrivacySweepSchema)
+	}
+	if len(sweep.Cells) != 9 {
+		t.Fatalf("bench cells = %d, want 9", len(sweep.Cells))
+	}
+	off := sweep.Cells[0]
+	if off.K != 0 || off.Epsilon != 0 || off.Level != "off" {
+		t.Errorf("first cell should be the off baseline, got %+v", off)
+	}
+	if off.MeasurableAds == 0 {
+		t.Error("baseline cell measured no ads")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"github.com/adaudit/impliedidentity/internal/obs"
 	"github.com/adaudit/impliedidentity/internal/platform"
 	"github.com/adaudit/impliedidentity/internal/population"
+	"github.com/adaudit/impliedidentity/internal/privacy"
 	"github.com/adaudit/impliedidentity/internal/report"
 	"github.com/adaudit/impliedidentity/internal/store"
 	"github.com/adaudit/impliedidentity/internal/voter"
@@ -74,6 +75,9 @@ func run(args []string, stdout io.Writer) error {
 	storeDir := fs.String("store-dir", "", "self-hosted server: durable state directory (empty serves from memory only)")
 	fsyncMode := fs.String("fsync", "always", "self-hosted server: WAL fsync discipline (always, interval, none); requires -store-dir")
 	deliveryWorkers := fs.Int("delivery-workers", 0, "delivery shard count sent with every deliver call (0 = server default, 1 = sequential oracle)")
+	privacyK := fs.Int("privacy-k", 0, "insights privacy: k-anonymity threshold on the self-hosted server (0 disables); with -target, records the remote policy in the report")
+	privacyEpsilon := fs.Float64("privacy-epsilon", 0, "insights privacy: DP noise epsilon on the self-hosted server (0 disables); with -target, records the remote policy in the report")
+	privacySeed := fs.Int64("privacy-seed", 1, "insights privacy: noise-stream seed for the self-hosted server")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +85,9 @@ func run(args []string, stdout io.Writer) error {
 	if *target != "" {
 		// Faults are injected into the self-hosted server's handler chain;
 		// against a remote server these flags would silently do nothing.
-		for _, f := range []string{"fault-rate", "fault-seed", "fault-kinds", "shed-cap", "store-dir", "fsync"} {
+		// (-privacy-k/-privacy-epsilon stay legal with -target: they record
+		// the remote policy in the report; the seed is server-side only.)
+		for _, f := range []string{"fault-rate", "fault-seed", "fault-kinds", "shed-cap", "store-dir", "fsync", "privacy-seed"} {
 			if flagWasSet(fs, f) {
 				return fmt.Errorf("-%s applies to the self-hosted server and cannot be combined with -target", f)
 			}
@@ -92,6 +98,10 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fsync, err := store.ParseFsyncMode(*fsyncMode)
+	if err != nil {
+		return err
+	}
+	privCfg, err := privacy.FromFlags(*privacyK, *privacyEpsilon, *privacySeed)
 	if err != nil {
 		return err
 	}
@@ -106,11 +116,15 @@ func run(args []string, stdout io.Writer) error {
 		if *storeDir != "" {
 			fmt.Fprintf(stdout, "durable store at %s (fsync=%s)\n", *storeDir, fsync)
 		}
+		if privCfg.Enabled() {
+			fmt.Fprintf(stdout, "insights privacy armed: level %s, k=%d, epsilon=%v\n",
+				privCfg.Level, privCfg.K, privCfg.Epsilon)
+		}
 		ts, pool, closeStore, err := selfHost(*seed, *voters, *logRows, *shedCap, faults.Config{
 			Seed:  *faultSeed,
 			Rate:  *faultRate,
 			Kinds: kinds,
-		}, *storeDir, fsync)
+		}, *storeDir, fsync, privCfg)
 		if err != nil {
 			return err
 		}
@@ -160,6 +174,7 @@ func run(args []string, stdout io.Writer) error {
 		Hashes:          hashes,
 		DeliveryWorkers: *deliveryWorkers,
 		ShardCount:      shardCount,
+		Privacy:         privCfg,
 	}, client)
 	if err != nil {
 		return err
@@ -217,7 +232,7 @@ func flagWasSet(fs *flag.FlagSet, name string) bool {
 // in-process listener (wrapped in the fault injector when faultCfg.Rate > 0),
 // returning the server, the audience hash pool, and a store closer (a no-op
 // when storeDir is empty).
-func selfHost(seed int64, numVoters, logRows, shedCap int, faultCfg faults.Config, storeDir string, fsync store.FsyncMode) (*httptest.Server, []string, func(), error) {
+func selfHost(seed int64, numVoters, logRows, shedCap int, faultCfg faults.Config, storeDir string, fsync store.FsyncMode, privCfg privacy.Config) (*httptest.Server, []string, func(), error) {
 	flCfg := voter.DefaultGeneratorConfig(demo.StateFL, seed+1)
 	flCfg.NumVoters = numVoters
 	fl, err := voter.Generate(flCfg)
@@ -248,6 +263,9 @@ func selfHost(seed int64, numVoters, logRows, shedCap int, faultCfg faults.Confi
 	// Delivery-phase metrics share the registry the /metrics scrape reads.
 	plat.SetObserver(reg, nil)
 	serverOpts := []marketing.ServerOption{marketing.WithLimits(limits), marketing.WithRegistry(reg)}
+	if privCfg.Enabled() {
+		serverOpts = append(serverOpts, marketing.WithPrivacy(privCfg))
+	}
 	closeStore := func() {}
 	if storeDir != "" {
 		st, err := store.Open(store.Options{Dir: storeDir, Fsync: fsync, Metrics: reg})

@@ -32,6 +32,7 @@ import (
 	"github.com/adaudit/impliedidentity/internal/obs"
 	"github.com/adaudit/impliedidentity/internal/platform"
 	"github.com/adaudit/impliedidentity/internal/population"
+	"github.com/adaudit/impliedidentity/internal/privacy"
 	"github.com/adaudit/impliedidentity/internal/store"
 	"github.com/adaudit/impliedidentity/internal/voter"
 )
@@ -60,6 +61,9 @@ func run(args []string) error {
 	snapshotEvery := fs.Int("snapshot-every", 5000, "write a snapshot and compact the WAL every N records (0 disables automatic snapshots)")
 	deliveryWorkers := fs.Int("delivery-workers", 1, "default delivery shard count for /v1/deliver (1 = sequential oracle engine; requests may override)")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for draining in-flight requests (must exceed the longest /v1/deliver day)")
+	privacyK := fs.Int("privacy-k", 0, "insights privacy: k-anonymity threshold for breakdown cells and minimum audience (0 disables suppression)")
+	privacyEpsilon := fs.Float64("privacy-epsilon", 0, "insights privacy: DP noise parameter epsilon (0 disables noise; smaller = noisier)")
+	privacySeed := fs.Int64("privacy-seed", 1, "insights privacy: noise-stream seed (same seed, same noise — keep it per-deployment, not per-query)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +72,10 @@ func run(args []string) error {
 		return err
 	}
 	fsync, err := store.ParseFsyncMode(*fsyncMode)
+	if err != nil {
+		return err
+	}
+	privCfg, err := privacy.FromFlags(*privacyK, *privacyEpsilon, *privacySeed)
 	if err != nil {
 		return err
 	}
@@ -120,6 +128,14 @@ func run(args []string) error {
 	// the same registry the HTTP middleware reports through GET /metrics.
 	plat.SetObserver(reg, nil)
 	serverOpts := []marketing.ServerOption{marketing.WithLimits(limits), marketing.WithRegistry(reg)}
+	if privCfg.Enabled() {
+		// Single-process privatization. In a fleet, set these flags on the
+		// router instead (merge-then-privatize): a privatizing shard makes the
+		// coordinator refuse its insights.
+		serverOpts = append(serverOpts, marketing.WithPrivacy(privCfg))
+		fmt.Printf("insights privacy armed: level %s, k=%d, epsilon=%v, seed %d\n",
+			privCfg.Level, privCfg.K, privCfg.Epsilon, privCfg.Seed)
+	}
 
 	// Durable state: recover the account from disk (the world itself is
 	// rebuilt from the seed above), then persist every mutation before its

@@ -47,6 +47,7 @@ import (
 	"github.com/adaudit/impliedidentity/internal/coordinator"
 	"github.com/adaudit/impliedidentity/internal/faults"
 	"github.com/adaudit/impliedidentity/internal/obs"
+	"github.com/adaudit/impliedidentity/internal/privacy"
 	"github.com/adaudit/impliedidentity/internal/supervisor"
 )
 
@@ -74,6 +75,9 @@ func run(args []string) error {
 	faultRate := fs.Float64("fault-rate", 0, "chaos: probability an outbound shard RPC draws an injected fault (0 disables)")
 	faultSeed := fs.Int64("fault-seed", 1, "chaos: fault-schedule seed (same seed, same schedule)")
 	faultKinds := fs.String("fault-kinds", "all", "chaos: comma-separated fault kinds (latency,429,5xx,drop,slow) or all")
+	privacyK := fs.Int("privacy-k", 0, "insights privacy: k-anonymity threshold applied to the MERGED report (0 disables suppression); shards must stay raw")
+	privacyEpsilon := fs.Float64("privacy-epsilon", 0, "insights privacy: DP noise parameter epsilon applied after merge (0 disables noise)")
+	privacySeed := fs.Int64("privacy-seed", 1, "insights privacy: noise-stream seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +86,10 @@ func run(args []string) error {
 		return fmt.Errorf("-shards is required (comma-separated backend URLs)")
 	}
 	kinds, err := faults.ParseKinds(*faultKinds)
+	if err != nil {
+		return err
+	}
+	privCfg, err := privacy.FromFlags(*privacyK, *privacyEpsilon, *privacySeed)
 	if err != nil {
 		return err
 	}
@@ -107,9 +115,14 @@ func run(args []string) error {
 		DayBackoff:  *dayBackoff,
 		JournalCap:  *journalCap,
 		Transport:   transport,
+		Privacy:     privCfg,
 	}, reg)
 	if err != nil {
 		return err
+	}
+	if privCfg.Enabled() {
+		fmt.Printf("insights privacy armed on the merged report: level %s, k=%d, epsilon=%v, seed %d\n",
+			privCfg.Level, privCfg.K, privCfg.Epsilon, privCfg.Seed)
 	}
 
 	// With a command template the router owns the shard children: initial

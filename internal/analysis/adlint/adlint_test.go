@@ -17,7 +17,7 @@ func TestAnalyzers(t *testing.T) {
 		analyzer *adlint.Analyzer
 		fixtures []string
 	}{
-		{"detrand", adlint.Detrand, []string{"detrand/internal/platform", "detrand/clocked", "detrand/optin"}},
+		{"detrand", adlint.Detrand, []string{"detrand/internal/platform", "detrand/internal/privacy", "detrand/clocked", "detrand/optin"}},
 		{"lockhold", adlint.Lockhold, []string{"lockhold/a"}},
 		{"ctxflow", adlint.Ctxflow, []string{"ctxflow/internal/marketing"}},
 		{"walerr", adlint.Walerr, []string{"walerr/internal/store", "walerr/caller"}},

@@ -9,15 +9,18 @@ import (
 
 // deterministicPkgSuffixes lists the packages whose outputs must replay
 // bit-identically under a fixed seed: the delivery engine, the fault
-// schedule, the synthetic population, the statistics kernels, and the load
-// generator's workload decisions. A package outside this list opts in with a
-// file-level //adlint:deterministic directive.
+// schedule, the synthetic population, the statistics kernels, the load
+// generator's workload decisions, and the privacy layer (whose noise stream
+// must be a pure function of seed and cell key for the router/single-process
+// equivalence proof). A package outside this list opts in with a file-level
+// //adlint:deterministic directive.
 var deterministicPkgSuffixes = []string{
 	"internal/platform",
 	"internal/faults",
 	"internal/population",
 	"internal/stats",
 	"internal/loadgen",
+	"internal/privacy",
 }
 
 // globalRandExempt lists the math/rand package-level functions that are the

@@ -1,0 +1,55 @@
+// Package privacy is a detrand fixture: its import-path suffix
+// internal/privacy marks it determinism-critical — the noise stream must be
+// a pure function of seed and cell key, so wall-clock reads, global RNG
+// draws, and order-dependent map iteration are all forbidden.
+package privacy
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SeedFromClock would make every privatized response different: the same
+// query would stop replaying byte-identically across router and shard.
+func SeedFromClock() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+// GlobalNoise draws from the process-global generator instead of the seeded
+// (seed, cellKey) stream.
+func GlobalNoise() int {
+	return rand.Intn(7) - 3 // want "global rand.Intn"
+}
+
+// SuppressLeak releases cell keys in map-iteration order without sorting,
+// so two identically-configured servers could disagree on the complementary
+// suppression victim.
+func SuppressLeak(cells map[string]int, k int) []string {
+	var kept []string
+	for key, n := range cells {
+		if n >= k {
+			kept = append(kept, key) // want "append to \"kept\" inside map iteration"
+		}
+	}
+	return kept
+}
+
+// SuppressSorted is the sanctioned shape: collect in map order, then sort
+// before any tie-break decision.
+func SuppressSorted(cells map[string]int, k int) []string {
+	var kept []string
+	for key, n := range cells {
+		if n >= k {
+			kept = append(kept, key)
+		}
+	}
+	sort.Strings(kept)
+	return kept
+}
+
+// SeededNoise is the sanctioned constructor route for auxiliary randomness.
+func SeededNoise(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(7) - 3
+}

@@ -43,6 +43,7 @@ import (
 	"github.com/adaudit/impliedidentity/internal/marketing"
 	"github.com/adaudit/impliedidentity/internal/obs"
 	"github.com/adaudit/impliedidentity/internal/platform"
+	"github.com/adaudit/impliedidentity/internal/privacy"
 	"github.com/adaudit/impliedidentity/internal/supervisor"
 )
 
@@ -79,6 +80,13 @@ type Config struct {
 	// Clock injects time for the day-retry backoff and MTTR accounting;
 	// nil is the system clock.
 	Clock marketing.Clock
+	// Privacy is the insights privatization policy, applied to the MERGED
+	// report after cross-shard summation (merge-then-privatize: per-shard
+	// tallies are partition slices, so per-shard suppression would
+	// over-suppress and per-shard noise would stack one draw per shard).
+	// Shards behind this coordinator must serve raw insights; a
+	// pre-privatized shard response is refused as a divergence.
+	Privacy privacy.Config
 }
 
 // shardConn is one backend: its resilient API client and its metric label.
@@ -530,14 +538,29 @@ func (c *Coordinator) Insights(ctx context.Context, adID string, dims []string) 
 	if err != nil {
 		return nil, err
 	}
-	return mergeInsights(c.shards, out)
+	merged, err := mergeInsights(c.shards, out)
+	if err != nil {
+		return nil, err
+	}
+	// Merge-then-privatize: suppression thresholds and noise apply to the
+	// fleet-wide report, never to partition slices. This is the only point
+	// in the fleet where the logical report exists, so it is the only point
+	// where privatizing it matches the single-process engine byte for byte.
+	return marketing.PrivatizeInsights(c.cfg.Privacy, merged), nil
 }
 
 // mergeInsights folds per-shard delivery reports into the fleet-wide one.
+// Shard responses must be raw: a pre-privatized part means a misconfigured
+// shard (suppression on a partition slice, noise stacked per shard) and is
+// reported as a divergence rather than silently merged.
 func mergeInsights(shards []*shardConn, parts []*marketing.InsightsResponse) (*marketing.InsightsResponse, error) {
 	m := &marketing.InsightsResponse{AdID: parts[0].AdID, SpendCents: parts[0].SpendCents}
 	cells := map[marketing.BreakdownRow]int{}
 	for i, part := range parts {
+		if part.Privacy != nil {
+			return nil, divergence("insights privatized by shard", shards[i],
+				part.Privacy.Level, "raw")
+		}
 		if part.SpendCents != m.SpendCents {
 			return nil, divergence("insights spend", shards[i],
 				fmt.Sprintf("%v", part.SpendCents), fmt.Sprintf("%v", m.SpendCents))

@@ -1,0 +1,150 @@
+package coordinator
+
+// Differential proof for the merge-then-privatize rule: a router that
+// privatizes the MERGED cross-shard insights report is byte-identical, at
+// the wire level, to a single adplatform process privatizing its own report
+// under the same policy — for 1, 2, and 4 shards, at k-anon and k-anon+dp.
+// Per-shard privatization is the bug this architecture forbids, so a fleet
+// whose shards privatize locally must be refused, not merged.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/adaudit/impliedidentity/internal/marketing"
+	"github.com/adaudit/impliedidentity/internal/obs"
+	"github.com/adaudit/impliedidentity/internal/privacy"
+)
+
+// newPrivacyBackend serves one platform whose OWN insights surface
+// privatizes — the single-process reference, and (misconfigured behind a
+// router) the shard the coordinator must refuse.
+func newPrivacyBackend(t *testing.T, cfg privacy.Config) string {
+	t.Helper()
+	srv, err := marketing.NewServer(newPlatform(t), marketing.WithPrivacy(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// newPrivacyFleet stands up n RAW shard backends behind a coordinator that
+// privatizes the merged report (the correct fleet deployment).
+func newPrivacyFleet(t *testing.T, n int, cfg privacy.Config, privateShards bool) *marketing.Client {
+	t.Helper()
+	backends := make([]string, n)
+	for i := range backends {
+		if privateShards {
+			backends[i] = newPrivacyBackend(t, cfg)
+		} else {
+			backends[i] = newBackend(t, nil)
+		}
+	}
+	reg := obs.NewRegistry()
+	coord, err := New(Config{Backends: backends, DayBackoff: time.Millisecond, Privacy: cfg}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.SetRetryPolicy(marketing.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	router, err := NewRouter(coord, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(router.Handler())
+	t.Cleanup(ts.Close)
+	client, err := marketing.NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.SetRetryPolicy(marketing.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	return client
+}
+
+// TestRouterPrivatizedMatchesSingleProcess is the tentpole differential
+// claim: privatized merged insights from a 1/2/4-shard router are
+// byte-identical to single-process privatized output on the same seed —
+// suppression decisions, noise draws, and the wire privacy block all agree,
+// because both sides privatize the SAME logical report under the same pure
+// (seed, cell key) noise stream.
+func TestRouterPrivatizedMatchesSingleProcess(t *testing.T) {
+	const nAds = 3
+	const seed = 9600
+	policies := []privacy.Config{
+		{Level: privacy.LevelKAnon, K: 20},
+		{Level: privacy.LevelKAnonDP, K: 20, Epsilon: 1, Seed: 42},
+	}
+	for _, cfg := range policies {
+		for _, shards := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", cfg.Level, shards), func(t *testing.T) {
+				refURL := newPrivacyBackend(t, cfg)
+				refClient, err := marketing.NewClient(refURL)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refIDs := setupAccount(t, refClient, nAds)
+				if err := refClient.DeliverWorkers(context.Background(), refIDs, seed, shards); err != nil {
+					t.Fatal(err)
+				}
+				want := insightsDigest(t, refClient, refIDs)
+
+				client := newPrivacyFleet(t, shards, cfg, false)
+				ids := setupAccount(t, client, nAds)
+				if err := client.Deliver(context.Background(), ids, seed); err != nil {
+					t.Fatal(err)
+				}
+				if got := insightsDigest(t, client, ids); got != want {
+					t.Errorf("%d-shard privatized router diverged from single process (%s):\n got %s\nwant %s",
+						shards, cfg.Level, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestRouterPrivacyOffIsRaw: with privacy off the router's responses carry
+// no privacy block at all — the wire surface is the pre-privacy API.
+func TestRouterPrivacyOffIsRaw(t *testing.T) {
+	client := newPrivacyFleet(t, 2, privacy.Config{}, false)
+	ids := setupAccount(t, client, 1)
+	if err := client.Deliver(context.Background(), ids, 9700); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Insights(context.Background(), ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Privacy != nil {
+		t.Errorf("privacy off: response carries privacy block %+v", resp.Privacy)
+	}
+}
+
+// TestRouterRefusesPrivatizedShards: shards that privatize locally violate
+// merge-then-privatize (per-shard suppression over-suppresses partition
+// slices); the coordinator must surface a divergence, not merge garbage.
+func TestRouterRefusesPrivatizedShards(t *testing.T) {
+	cfg := privacy.Config{Level: privacy.LevelKAnon, K: 5}
+	client := newPrivacyFleet(t, 2, cfg, true)
+	ids := setupAccount(t, client, 1)
+	if err := client.Deliver(context.Background(), ids, 9800); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.Insights(context.Background(), ids[0])
+	if err == nil {
+		t.Fatal("insights from a fleet of privatizing shards: want divergence error")
+	}
+	var apiErr *marketing.APIError
+	if errors.As(err, &apiErr) {
+		if !strings.Contains(apiErr.Message, "privatized by shard") {
+			t.Errorf("error %q, want a privatized-by-shard divergence", apiErr.Message)
+		}
+	} else if !strings.Contains(err.Error(), "privatized by shard") {
+		t.Errorf("error %v, want a privatized-by-shard divergence", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"github.com/adaudit/impliedidentity/internal/marketing"
 	"github.com/adaudit/impliedidentity/internal/platform"
 	"github.com/adaudit/impliedidentity/internal/population"
+	"github.com/adaudit/impliedidentity/internal/privacy"
 	"github.com/adaudit/impliedidentity/internal/voter"
 )
 
@@ -66,6 +67,12 @@ type LabConfig struct {
 	TravelProb float64
 	// FLActivityBoost injects a location confounder (ablation A4).
 	FLActivityBoost float64
+	// Privacy arms the marketing API's insights privatization (k-anonymity
+	// and seeded DP noise) from the first request. The zero value serves raw
+	// reports; SetPrivacy switches levels on the live server later, which
+	// the skew-detectability sweep uses to re-read one delivered campaign
+	// under several policies.
+	Privacy privacy.Config
 }
 
 // votersPerState returns the registry size for the preset.
@@ -119,6 +126,7 @@ type Lab struct {
 	// through Client.
 	Platform *platform.Platform
 
+	server     *marketing.Server
 	httpServer *http.Server
 	listener   net.Listener
 }
@@ -169,7 +177,7 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 		return nil, fmt.Errorf("core: building platform: %w", err)
 	}
 
-	srv, err := marketing.NewServer(plat)
+	srv, err := marketing.NewServer(plat, marketing.WithPrivacy(cfg.Privacy))
 	if err != nil {
 		return nil, err
 	}
@@ -195,9 +203,18 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 		Pop:        pop,
 		Client:     client,
 		Platform:   plat,
+		server:     srv,
 		httpServer: httpSrv,
 		listener:   ln,
 	}, nil
+}
+
+// SetPrivacy switches the live marketing API's insights privatization
+// policy. Privatization is response-time and stateless, so delivered
+// campaigns can be re-read under a new policy without re-running delivery —
+// the skew-detectability sweep delivers once and measures at every level.
+func (l *Lab) SetPrivacy(cfg privacy.Config) {
+	l.server.SetPrivacy(cfg)
 }
 
 // Close shuts down the marketing API server.

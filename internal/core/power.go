@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/adaudit/impliedidentity/internal/privacy"
 	"github.com/adaudit/impliedidentity/internal/stats"
 )
 
@@ -63,11 +64,126 @@ func AuditPower(o PowerOptions) (float64, error) {
 		return 0, err
 	}
 	se := math.Sqrt(2 * o.BaseRate * (1 - o.BaseRate) / (float64(o.ImpressionsPerAd) * float64(o.Pairs)))
-	zCrit := stats.NormalQuantile(1 - o.Alpha/2)
-	shift := o.Delta / se
-	// Two-sided power; the wrong-direction rejection region is negligible
-	// for any practically detectable Δ but included for correctness.
-	return stats.NormalCDF(shift-zCrit) + stats.NormalCDF(-shift-zCrit), nil
+	return stats.NormalPower(o.Delta/se, o.Alpha), nil
+}
+
+// PrivacyPowerOptions extends the audit design with the reporting surface's
+// privacy policy: the k-anonymity threshold and DP noise parameter of the
+// insights API the auditor must read skew through.
+type PrivacyPowerOptions struct {
+	PowerOptions
+	// K is the insights k-anonymity threshold (0 = no suppression).
+	K int
+	// Epsilon is the insights DP noise parameter (0 = no noise).
+	Epsilon float64
+	// Cells is the number of breakdown cells the measurement sums over
+	// (each released cell carries one independent noise draw). Default 24 —
+	// the 6 age buckets × 2 genders × 2 regions surface the audit reads.
+	Cells int
+	// MinCellShare is the expected share of an ad's impressions in its
+	// smallest group-defining cell; suppression erases the measurement
+	// unless ImpressionsPerAd × MinCellShare ≥ K. Default 0.05.
+	MinCellShare float64
+}
+
+func (o *PrivacyPowerOptions) fillDefaults() {
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.Cells == 0 {
+		o.Cells = 24
+	}
+	if o.MinCellShare == 0 {
+		o.MinCellShare = 0.05
+	}
+}
+
+// PrivateAuditPower returns the detection probability of the audit when the
+// insights surface privatizes. Two mechanisms attenuate power:
+//
+//   - suppression is a cliff: if the smallest group-defining cell falls
+//     below K (ImpressionsPerAd × MinCellShare < K), the cells the fraction
+//     is computed from are withheld and the skew is unmeasurable — power 0;
+//   - noise is a tax: each of the C released cells carries an independent
+//     discrete-Laplace draw of variance σ², and by the delta method the
+//     measured fraction gains variance σ²·C·p(1-p)/m² on top of the binomial
+//     p(1-p)/m.
+//
+// The test is the same two-group mean comparison as AuditPower; with k
+// pairs the difference's SE² is 2·v/pairs for per-ad variance v.
+func PrivateAuditPower(o PrivacyPowerOptions) (float64, error) {
+	o.fillDefaults()
+	if err := o.validate(); err != nil {
+		return 0, err
+	}
+	if o.K < 0 {
+		return 0, fmt.Errorf("core: privacy k %d negative", o.K)
+	}
+	if o.Epsilon < 0 {
+		return 0, fmt.Errorf("core: privacy epsilon %v negative", o.Epsilon)
+	}
+	if o.MinCellShare <= 0 || o.MinCellShare > 1 {
+		return 0, fmt.Errorf("core: min cell share %v outside (0,1]", o.MinCellShare)
+	}
+	m := float64(o.ImpressionsPerAd)
+	if o.K > 0 && m*o.MinCellShare < float64(o.K) {
+		// Below the suppression cliff: the breakdown cells are withheld and
+		// no amount of statistical care recovers the fraction.
+		return 0, nil
+	}
+	p := o.BaseRate
+	v := p * (1 - p) / m
+	if o.Epsilon > 0 {
+		sigma2 := privacy.NoiseVariance(o.Epsilon)
+		v += sigma2 * float64(o.Cells) * p * (1 - p) / (m * m)
+	}
+	se := math.Sqrt(2 * v / float64(o.Pairs))
+	return stats.NormalPower(o.Delta/se, o.Alpha), nil
+}
+
+// MinimumImpressionsForPower returns the smallest per-ad impression count at
+// which the privatized audit reaches the target power — the privacy layer's
+// answer to "how big must each campaign be". Power is monotone in m: the
+// suppression cliff is passed once, and both variance terms shrink with m.
+func MinimumImpressionsForPower(o PrivacyPowerOptions, targetPower float64) (int, error) {
+	if targetPower <= 0 || targetPower >= 1 {
+		return 0, fmt.Errorf("core: target power %v outside (0,1)", targetPower)
+	}
+	o.fillDefaults()
+	const capM = 1 << 30
+	lo := 1
+	if o.K > 0 {
+		lo = int(math.Ceil(float64(o.K) / o.MinCellShare))
+	}
+	hi := lo
+	for {
+		o.ImpressionsPerAd = hi
+		p, err := PrivateAuditPower(o)
+		if err != nil {
+			return 0, err
+		}
+		if p >= targetPower {
+			break
+		}
+		hi *= 2
+		if hi > capM {
+			return 0, fmt.Errorf("core: target power %v unreachable below %d impressions per ad", targetPower, capM)
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		o.ImpressionsPerAd = mid
+		p, err := PrivateAuditPower(o)
+		if err != nil {
+			return 0, err
+		}
+		if p >= targetPower {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
 }
 
 // MinimumPairs returns the smallest number of image pairs achieving the

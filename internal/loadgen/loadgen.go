@@ -34,6 +34,7 @@ import (
 	"github.com/adaudit/impliedidentity/internal/image"
 	"github.com/adaudit/impliedidentity/internal/marketing"
 	"github.com/adaudit/impliedidentity/internal/obs"
+	"github.com/adaudit/impliedidentity/internal/privacy"
 )
 
 // Mode selects the driving discipline.
@@ -93,6 +94,12 @@ type Config struct {
 	// router's GET /v1/topology) in the report. Informational only: 0 means
 	// the target is a single adplatform process.
 	ShardCount int
+	// Privacy records the target's insights privatization policy in the
+	// report, so serving benches can attribute an insights-path latency or
+	// suppression delta to the privacy level. Informational: the policy
+	// lives on the server (or router); the runner additionally counts the
+	// privatized responses and suppressed cells it actually observes.
+	Privacy privacy.Config
 }
 
 // withDefaults fills zero fields.
@@ -130,6 +137,11 @@ type Runner struct {
 
 	completed atomic.Int64
 	failed    atomic.Int64
+
+	// Observed privatization on the insights path: responses carrying a
+	// privacy block, and the total cells those responses withheld.
+	privatized      atomic.Int64
+	suppressedCells atomic.Int64
 }
 
 // New validates the configuration and builds a runner.
@@ -268,11 +280,17 @@ func (r *Runner) scenario(ctx context.Context, idx int) error {
 				return ctx.Err()
 			}
 			if err := r.observe(OpInsights, func() error {
+				var resp *marketing.InsightsResponse
+				var err error
 				if p%2 == 1 {
-					_, err := r.client.InsightsBreakdown(ctx, id, "gender")
-					return err
+					resp, err = r.client.InsightsBreakdown(ctx, id, "gender")
+				} else {
+					resp, err = r.client.Insights(ctx, id)
 				}
-				_, err := r.client.Insights(ctx, id)
+				if err == nil && resp.Privacy != nil {
+					r.privatized.Add(1)
+					r.suppressedCells.Add(int64(resp.Privacy.SuppressedCells))
+				}
 				return err
 			}); err != nil {
 				return err
@@ -376,6 +394,18 @@ func (r *Runner) report(wall time.Duration) *Report {
 		rep.Workers = r.cfg.Workers
 	} else {
 		rep.ArrivalRPS = r.cfg.ArrivalRPS
+	}
+	// A privacy block appears when the run was configured for a privatizing
+	// target OR when privatized responses were actually observed — the
+	// latter catches a target armed out-of-band.
+	if r.cfg.Privacy.Enabled() || r.privatized.Load() > 0 {
+		rep.Privacy = &PrivacyReport{
+			Level:                r.cfg.Privacy.Level.String(),
+			K:                    r.cfg.Privacy.K,
+			Epsilon:              r.cfg.Privacy.Epsilon,
+			PrivatizedResponses:  r.privatized.Load(),
+			SuppressedCellsTotal: r.suppressedCells.Load(),
+		}
 	}
 	// The client shares this registry (New wires it), so its resilience
 	// counters land in the same snapshot as the per-op histograms.

@@ -14,6 +14,21 @@ import (
 // still parsing old trajectory points (BENCH_serving_v*.json).
 const ReportSchema = "adaudit/bench-serving/v1"
 
+// PrivacyReport is the insights-privacy block of a load report: the policy
+// the run was told the target enforces (level/k/epsilon) and the
+// privatization the runner observed in responses. A serving-perf comparison
+// across privacy levels reads the insights-op latency next to this block —
+// the "privacy tax" on the reporting path.
+type PrivacyReport struct {
+	Level   string  `json:"level"`
+	K       int     `json:"k,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// PrivatizedResponses counts insights responses carrying a privacy
+	// block; SuppressedCellsTotal sums the breakdown cells they withheld.
+	PrivatizedResponses  int64 `json:"privatized_responses"`
+	SuppressedCellsTotal int64 `json:"suppressed_cells_total"`
+}
+
 // OpReport is one operation's client-side accounting.
 type OpReport struct {
 	Requests int64                 `json:"requests"`
@@ -56,6 +71,10 @@ type Report struct {
 	// server runs without faults/shedding).
 	RequestsShed   int64 `json:"requests_shed,omitempty"`
 	FaultsInjected int64 `json:"faults_injected,omitempty"`
+	// Privacy records the insights privatization regime of the run: the
+	// configured policy plus what the runner actually observed on the wire.
+	// Omitted when privacy is off and no privatized response was seen.
+	Privacy *PrivacyReport `json:"privacy,omitempty"`
 	// Operations maps operation name → client-side latency/error stats.
 	Operations map[string]OpReport `json:"operations"`
 	// ServerMetrics optionally embeds the target's GET /metrics snapshot at

@@ -1,0 +1,65 @@
+package marketing
+
+import (
+	"github.com/adaudit/impliedidentity/internal/privacy"
+)
+
+// cellKey canonicalizes one breakdown row into the privacy layer's cell key.
+// The key is built from the row's released dimension strings — dimensions
+// aggregated out by the breakdown parameter contribute an empty value — so
+// every process that names a cell names it identically, which is what makes
+// the seeded noise stream agree between a single-process server and a
+// coordinator privatizing a merged cross-shard report.
+func cellKey(row BreakdownRow) string {
+	return "age=" + row.Age + "|gender=" + row.Gender + "|region=" + row.Region
+}
+
+// PrivatizeInsights applies a privacy policy to one wire insights response.
+// At LevelOff, or when the response already carries a Privacy block
+// (idempotence), the input is returned unchanged — in particular the
+// privacy-off wire format is byte-identical to the pre-privacy API. The
+// input response is never mutated.
+//
+// The noise scope is the response's AdID, so two ads' identical cells draw
+// independent noise. SpendCents deliberately passes through untouched: it is
+// a billing quantity, not an audience-measurement one, and the coordinator's
+// cross-shard spend-equality assertion depends on it staying exact.
+func PrivatizeInsights(cfg privacy.Config, resp *InsightsResponse) *InsightsResponse {
+	if !cfg.Enabled() || resp == nil || resp.Privacy != nil {
+		return resp
+	}
+	rep := &privacy.Report{
+		Scope:       resp.AdID,
+		Impressions: resp.Impressions,
+		Reach:       resp.Reach,
+		Clicks:      resp.Clicks,
+		Hourly:      resp.Hourly,
+		Cells:       make([]privacy.Cell, len(resp.Breakdown)),
+	}
+	rows := make(map[string]BreakdownRow, len(resp.Breakdown))
+	for i, row := range resp.Breakdown {
+		key := cellKey(row)
+		rep.Cells[i] = privacy.Cell{Key: key, Count: row.Impressions}
+		rows[key] = row
+	}
+	priv := privacy.Apply(cfg, rep)
+
+	out := *resp
+	out.Impressions = priv.Impressions
+	out.Reach = priv.Reach
+	out.Clicks = priv.Clicks
+	out.Hourly = priv.Hourly
+	out.Breakdown = make([]BreakdownRow, 0, len(priv.Cells))
+	for _, c := range priv.Cells {
+		row := rows[c.Key]
+		row.Impressions = c.Count
+		out.Breakdown = append(out.Breakdown, row)
+	}
+	out.Privacy = &WirePrivacy{
+		Level:           cfg.Level.String(),
+		K:               cfg.K,
+		Epsilon:         cfg.Epsilon,
+		SuppressedCells: priv.SuppressedCells,
+	}
+	return &out
+}

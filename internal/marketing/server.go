@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/adaudit/impliedidentity/internal/obs"
 	"github.com/adaudit/impliedidentity/internal/platform"
+	"github.com/adaudit/impliedidentity/internal/privacy"
 )
 
 // ServerLimits bound each request's claim on the server: wall time, body
@@ -73,6 +75,15 @@ func WithRegistry(reg *obs.Registry) ServerOption {
 	}
 }
 
+// WithPrivacy sets the response-privatization policy for GET /v1/insights.
+// The default (and the zero Config) is privacy off: raw reports, wire bytes
+// identical to the pre-privacy API. In a sharded fleet this option belongs
+// on the coordinator, not on shard servers — see the merge-then-privatize
+// rule in package privacy.
+func WithPrivacy(cfg privacy.Config) ServerOption {
+	return func(s *Server) { s.privacy.Store(&cfg) }
+}
+
 // Server wraps a platform in the HTTP API. It is safe for concurrent use:
 // the platform itself serializes mutating calls behind its account lock
 // (as a real API would serialize per-account writes) while read endpoints
@@ -90,6 +101,10 @@ type Server struct {
 	limits  ServerLimits
 	idem    *idemCache
 	persist Persister
+	// privacy holds the insights privatization policy. Atomic so the audit
+	// sweep can switch levels on a live server between (read-only) insights
+	// queries without a restart; nil and the zero Config both mean off.
+	privacy atomic.Pointer[privacy.Config]
 }
 
 // NewServer wraps a platform.
@@ -108,6 +123,22 @@ func NewServer(p *platform.Platform, opts ...ServerOption) (*Server, error) {
 // GET /metrics), for in-process consumers like shutdown logging.
 func (s *Server) Metrics() *obs.Registry {
 	return s.reg
+}
+
+// SetPrivacy replaces the insights privatization policy at runtime.
+// Privatization is response-time and stateless, so switching levels needs no
+// restart and touches no delivery state — the audit sweep leans on this to
+// re-read the same campaign's insights at several privacy levels.
+func (s *Server) SetPrivacy(cfg privacy.Config) {
+	s.privacy.Store(&cfg)
+}
+
+// privacyConfig returns the active policy (zero Config when unset).
+func (s *Server) privacyConfig() privacy.Config {
+	if p := s.privacy.Load(); p != nil {
+		return *p
+	}
+	return privacy.Config{}
 }
 
 // Handler returns the API routing table with per-endpoint instrumentation
@@ -391,5 +422,5 @@ func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 		}
 		return a.Region < b.Region
 	})
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, *PrivatizeInsights(s.privacyConfig(), &resp))
 }

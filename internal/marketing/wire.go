@@ -172,6 +172,24 @@ type InsightsResponse struct {
 	// Hourly is impressions per pacing interval over the delivery day; its
 	// sum equals Impressions.
 	Hourly []int `json:"hourly,omitempty"`
+	// Privacy describes the privatization applied to this report. nil means
+	// the report is raw (privacy level off) — the field is omitted entirely
+	// so the privacy-off wire format is byte-identical to the pre-privacy
+	// API. A server or coordinator never privatizes a response whose Privacy
+	// field is already set (idempotence), and a coordinator refuses to merge
+	// pre-privatized shard responses (merge-then-privatize).
+	Privacy *WirePrivacy `json:"privacy,omitempty"`
+}
+
+// WirePrivacy records the privatization a report passed through.
+type WirePrivacy struct {
+	Level string `json:"level"`
+	// K is the k-anonymity threshold (0 when level is off).
+	K int `json:"k,omitempty"`
+	// Epsilon is the DP noise parameter (0 unless level is k-anon+dp).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// SuppressedCells counts the breakdown cells withheld from this report.
+	SuppressedCells int `json:"suppressed_cells"`
 }
 
 // ErrorResponse is the API error envelope.

@@ -50,6 +50,20 @@ func NormalQuantile(p float64) float64 {
 	return x
 }
 
+// NormalPower returns the power of a two-sided level-alpha z-test when the
+// test statistic is normal with unit variance and mean `shift` (the true
+// effect divided by its standard error). Both rejection regions are counted;
+// the wrong-direction one is negligible for any practically detectable
+// effect but included for correctness. Shared by the audit-design power
+// analysis and the privacy-sweep detectability model.
+func NormalPower(shift, alpha float64) float64 {
+	if alpha <= 0 || alpha >= 1 {
+		panic("stats: NormalPower alpha domain (0,1)")
+	}
+	zCrit := NormalQuantile(1 - alpha/2)
+	return NormalCDF(shift-zCrit) + NormalCDF(-shift-zCrit)
+}
+
 // lgamma returns log Γ(x) for x > 0.
 func lgamma(x float64) float64 {
 	v, _ := math.Lgamma(x)

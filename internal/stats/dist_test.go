@@ -209,3 +209,33 @@ func TestBenjaminiHochbergProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestNormalPower(t *testing.T) {
+	// Zero shift: power equals the test size alpha.
+	if got := NormalPower(0, 0.05); math.Abs(got-0.05) > 1e-10 {
+		t.Errorf("NormalPower(0, 0.05) = %v, want 0.05", got)
+	}
+	// Textbook value: shift 2.8 at alpha 0.05 gives ≈ 80% power.
+	if got := NormalPower(2.8016, 0.05); math.Abs(got-0.8) > 1e-3 {
+		t.Errorf("NormalPower(2.8016, 0.05) = %v, want ≈ 0.80", got)
+	}
+	// Symmetric in the sign of the shift (two-sided test).
+	if a, b := NormalPower(1.7, 0.05), NormalPower(-1.7, 0.05); math.Abs(a-b) > 1e-12 {
+		t.Errorf("asymmetric power: %v vs %v", a, b)
+	}
+	// Monotone in the shift.
+	prev := 0.0
+	for _, s := range []float64{0.5, 1, 2, 4, 8} {
+		p := NormalPower(s, 0.05)
+		if p <= prev || p > 1 {
+			t.Errorf("power %v at shift %v not increasing in (0,1]", p, s)
+		}
+		prev = p
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha outside (0,1) should panic")
+		}
+	}()
+	NormalPower(1, 0)
+}
