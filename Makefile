@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet adlint
+.PHONY: build test race lint lint-json vet adlint
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,9 @@ vet:
 
 adlint:
 	$(GO) run ./cmd/adlint ./...
+
+# lint-json emits the adlint findings as a JSON array (file/line/column/
+# analyzer/message) — the same stream CI converts into GitHub problem
+# annotations. Exit status matches `make adlint`.
+lint-json:
+	$(GO) run ./cmd/adlint -json ./...

@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	go run ./cmd/adlint [-only detrand,walerr] [-list] [packages]
+//	go run ./cmd/adlint [-only detrand,walerr] [-list] [-json] [packages]
 //
 // With no package arguments it analyzes ./... from the current directory.
 // The process exits 1 when any diagnostic is reported and 2 on usage or
-// load errors, mirroring go vet. Findings are suppressed per-line with
+// load errors, mirroring go vet. -json switches the output to a single JSON
+// array of findings on stdout for machine consumers (CI annotation,
+// editors); exit codes are unchanged. Findings are suppressed per-line with
 // //adlint:allow annotations; see the adlint package documentation for the
 // grammar and the invariant each analyzer enforces.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,18 +24,30 @@ import (
 	"github.com/adaudit/impliedidentity/internal/analysis/adlint"
 )
 
+// jsonFinding is the machine-readable shape of one diagnostic. Fields are
+// stable: CI's problem-matcher step and the Makefile lint-json target
+// consume them.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: adlint [-only names] [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: adlint [-only names] [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range adlint.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -60,12 +75,32 @@ func main() {
 	}
 
 	diags := adlint.Run(pkgs, analyzers)
+	findings := make([]jsonFinding, 0, len(diags))
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !filepath.IsAbs(rel) {
 			pos.Filename = rel
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		findings = append(findings, jsonFinding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "adlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "adlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))

@@ -91,6 +91,8 @@ type Pass struct {
 	// //adlint:deterministic directive (path-based marking is detrand's own
 	// concern).
 	deterministic bool
+	// graph is the lazily built intra-package call graph (callGraph()).
+	graph *CallGraph
 
 	diags *[]Diagnostic
 }
@@ -109,12 +111,12 @@ func (p *Pass) indexDirectives() {
 				if !strings.HasPrefix(text, directivePrefix) {
 					continue
 				}
-				rest := strings.TrimPrefix(text, directivePrefix)
-				switch {
-				case strings.HasPrefix(rest, "deterministic"):
+				verb, tail := splitVerb(strings.TrimPrefix(text, directivePrefix))
+				switch verb {
+				case "deterministic":
 					p.deterministic = true
-				case strings.HasPrefix(rest, "allow"):
-					names := parseAllowNames(strings.TrimPrefix(rest, "allow"))
+				case "allow":
+					names := parseAllowNames(tail)
 					if len(names) == 0 {
 						continue
 					}
@@ -132,15 +134,28 @@ func (p *Pass) indexDirectives() {
 	}
 }
 
+// splitVerb cuts a directive body at the first whitespace: the verb must be
+// spelled exactly ("//adlint:allowdetrand" is malformed and ignored, it
+// does NOT suppress detrand), with everything after the separator as the
+// verb's tail.
+func splitVerb(rest string) (verb, tail string) {
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		return rest[:i], rest[i+1:]
+	}
+	return rest, ""
+}
+
 // parseAllowNames extracts the analyzer names from the tail of an allow
 // directive: comma- or space-separated identifiers, terminated by a
-// parenthesized free-form reason.
+// parenthesized free-form reason. The tail is cut at the first "(" before
+// any splitting — fuzzing showed that a paren opening mid-token otherwise
+// let identifier-shaped words inside the reason be misapplied as names.
 func parseAllowNames(s string) []string {
+	if i := strings.Index(s, "("); i >= 0 {
+		s = s[:i]
+	}
 	var names []string
 	for _, field := range strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' }) {
-		if strings.HasPrefix(field, "(") {
-			break
-		}
 		if isIdent(field) {
 			names = append(names, field)
 		}
@@ -231,26 +246,32 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// All returns the full suite in stable order.
+// All returns the full suite in stable order: the five syntactic analyzers
+// from the original suite, then the four flow-aware ones built on the call
+// graph.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Lockhold, Ctxflow, Walerr, Obsreg}
+	return []*Analyzer{Detrand, Lockhold, Ctxflow, Walerr, Obsreg, Privflow, Sessionlife, Goroleak, Bodyclose}
 }
 
-// ByName resolves a comma-separated -only list against the suite.
+// ByName resolves a comma-separated -only list against the suite. An
+// unknown name is an error that enumerates the valid names, so a typo
+// fails loudly instead of quietly checking nothing.
 func ByName(names string) ([]*Analyzer, error) {
 	if names == "" {
 		return All(), nil
 	}
 	byName := map[string]*Analyzer{}
+	valid := make([]string, 0, len(All()))
 	for _, a := range All() {
 		byName[a.Name] = a
+		valid = append(valid, a.Name)
 	}
 	var out []*Analyzer
 	for _, n := range strings.Split(names, ",") {
 		n = strings.TrimSpace(n)
 		a, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("adlint: unknown analyzer %q", n)
+			return nil, fmt.Errorf("adlint: unknown analyzer %q (valid analyzers: %s)", n, strings.Join(valid, ", "))
 		}
 		out = append(out, a)
 	}

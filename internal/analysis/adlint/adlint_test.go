@@ -1,6 +1,7 @@
 package adlint_test
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/adaudit/impliedidentity/internal/analysis/adlint"
@@ -17,11 +18,15 @@ func TestAnalyzers(t *testing.T) {
 		analyzer *adlint.Analyzer
 		fixtures []string
 	}{
-		{"detrand", adlint.Detrand, []string{"detrand/internal/platform", "detrand/internal/privacy", "detrand/clocked", "detrand/optin"}},
+		{"detrand", adlint.Detrand, []string{"detrand/internal/platform", "detrand/internal/privacy", "detrand/internal/chaos", "detrand/internal/supervisor", "detrand/clocked", "detrand/optin"}},
 		{"lockhold", adlint.Lockhold, []string{"lockhold/a"}},
 		{"ctxflow", adlint.Ctxflow, []string{"ctxflow/internal/marketing"}},
 		{"walerr", adlint.Walerr, []string{"walerr/internal/store", "walerr/caller"}},
 		{"obsreg", adlint.Obsreg, []string{"obsreg/a"}},
+		{"privflow", adlint.Privflow, []string{"privflow/internal/coordinator"}},
+		{"sessionlife", adlint.Sessionlife, []string{"sessionlife/internal/delivery"}},
+		{"goroleak", adlint.Goroleak, []string{"goroleak/internal/supervisor"}},
+		{"bodyclose", adlint.Bodyclose, []string{"bodyclose/a"}},
 	}
 	for _, tt := range tests {
 		tt := tt
@@ -35,14 +40,21 @@ func TestAnalyzers(t *testing.T) {
 // TestByName covers the -only flag's resolver.
 func TestByName(t *testing.T) {
 	all, err := adlint.ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 9, nil", len(all), err)
 	}
-	two, err := adlint.ByName("detrand, walerr")
-	if err != nil || len(two) != 2 || two[0].Name != "detrand" || two[1].Name != "walerr" {
-		t.Fatalf("ByName(detrand, walerr) = %v, err %v", two, err)
+	two, err := adlint.ByName("detrand, bodyclose")
+	if err != nil || len(two) != 2 || two[0].Name != "detrand" || two[1].Name != "bodyclose" {
+		t.Fatalf("ByName(detrand, bodyclose) = %v, err %v", two, err)
 	}
-	if _, err := adlint.ByName("nosuch"); err == nil {
+	_, err = adlint.ByName("nosuch")
+	if err == nil {
 		t.Fatal("ByName(nosuch) succeeded; want error")
+	}
+	// A typo must fail loudly AND tell the user what would have worked.
+	for _, name := range []string{"detrand", "privflow", "sessionlife", "goroleak", "bodyclose"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ByName(nosuch) error %q does not list valid analyzer %q", err, name)
+		}
 	}
 }

@@ -1,0 +1,180 @@
+package adlint
+
+// The flow layer, part 1: a package-local call graph with function
+// summaries. PR 4's analyzers were purely syntactic — each looked at one
+// function body in isolation. The invariants added since (merge-then-
+// privatize, the day-session protocol, goroutine lifecycles) are properties
+// of *call chains*: "this function eventually reaches AbortDaySession",
+// "that value has passed through PrivatizeInsights". The call graph gives
+// analyzers a path-insensitive answer to exactly one question — CAN this
+// function (transitively) call a function matching a predicate — which is
+// cheap to compute, dependency-free, and conservative in the right
+// direction for an invariant checker: reachability over-approximates what
+// actually runs, so "does not reach a release call" findings are real
+// structural gaps, never scheduling accidents.
+//
+// Edges are intra-package: calls into other packages are leaves, visible to
+// predicates (a *types.Func carries its package path and name) but not
+// expanded. Function literals do not get their own nodes — a closure's
+// calls are attributed to the declaring function, because every closure in
+// the code this suite guards is either invoked synchronously by a fan-out
+// helper (coordinator.scatter) or IS the goroutine body the analyzer is
+// inspecting, and in both cases the declaring function is the unit whose
+// obligations the closure discharges.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the intra-package call graph of one pass's package.
+type CallGraph struct {
+	// decls maps a function object to its declaration, for every function
+	// and method declared with a body in this package.
+	decls map[*types.Func]*ast.FuncDecl
+	// callees lists the resolved direct callees of each declared function,
+	// including calls made inside function literals declared in its body.
+	callees map[*types.Func][]*types.Func
+	// callers is the reverse edge set, restricted to intra-package callers.
+	callers map[*types.Func][]*types.Func
+}
+
+// buildCallGraph indexes the pass's package once; analyzers share the
+// result through Pass.callGraph().
+func buildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		callees: map[*types.Func][]*types.Func{},
+		callers: map[*types.Func][]*types.Func{},
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		g.decls[fn] = fd
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeOf(pass.TypesInfo, call); callee != nil && !seen[callee] {
+				seen[callee] = true
+				g.callees[fn] = append(g.callees[fn], callee)
+			}
+			return true
+		})
+	}
+	for fn, outs := range g.callees {
+		for _, callee := range outs {
+			if _, declared := g.decls[callee]; declared {
+				g.callers[callee] = append(g.callers[callee], fn)
+			}
+		}
+	}
+	return g
+}
+
+// DeclOf returns the in-package declaration of fn, nil for functions
+// declared elsewhere (or without a body).
+func (g *CallGraph) DeclOf(fn *types.Func) *ast.FuncDecl { return g.decls[fn] }
+
+// CallersOf lists the in-package functions that call fn directly.
+func (g *CallGraph) CallersOf(fn *types.Func) []*types.Func { return g.callers[fn] }
+
+// Reaches reports whether fn can transitively reach a call to a function
+// matching pred: fn's own callees are tested first, then the search expands
+// through callees declared in this package (external callees are leaves).
+// fn itself is not tested — reachability is about what a call to fn may
+// cause, not what fn is named.
+func (g *CallGraph) Reaches(fn *types.Func, pred func(*types.Func) bool) bool {
+	visited := map[*types.Func]bool{fn: true}
+	work := []*types.Func{fn}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, callee := range g.callees[cur] {
+			if visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			if pred(callee) {
+				return true
+			}
+			if _, declared := g.decls[callee]; declared {
+				work = append(work, callee)
+			}
+		}
+	}
+	return false
+}
+
+// reachesSkipping is Reaches with one node excluded from matching and
+// expansion — "can fn reach pred without going through skip". Caller-
+// coverage rules need this: a caller discharging a helper's obligation must
+// do so on its own paths, not through the leaking helper's happy path.
+func (g *CallGraph) reachesSkipping(fn *types.Func, pred func(*types.Func) bool, skip *types.Func) bool {
+	visited := map[*types.Func]bool{fn: true, skip: true}
+	work := []*types.Func{fn}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, callee := range g.callees[cur] {
+			if visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			if pred(callee) {
+				return true
+			}
+			if _, declared := g.decls[callee]; declared {
+				work = append(work, callee)
+			}
+		}
+	}
+	return false
+}
+
+// CallReaches reports whether one call expression resolves to a function
+// that matches pred or transitively reaches one — the per-call-site form of
+// Reaches that flow-aware analyzers classify statements with.
+func (g *CallGraph) CallReaches(info *types.Info, call *ast.CallExpr, pred func(*types.Func) bool) bool {
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return false
+	}
+	if pred(callee) {
+		return true
+	}
+	if _, declared := g.decls[callee]; !declared {
+		return false
+	}
+	return g.Reaches(callee, pred)
+}
+
+// nodeReaches reports whether any call expression under n matches pred
+// directly or transitively — the statement-level classifier the flow engine
+// uses. Function literals under n are included: their calls run (or may
+// run) on behalf of the statement that created them.
+func (g *CallGraph) nodeReaches(info *types.Info, n ast.Node, pred func(*types.Func) bool) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok && g.CallReaches(info, call, pred) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callGraph lazily builds and caches the pass's call graph.
+func (p *Pass) callGraph() *CallGraph {
+	if p.graph == nil {
+		p.graph = buildCallGraph(p)
+	}
+	return p.graph
+}

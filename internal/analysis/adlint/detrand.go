@@ -21,6 +21,11 @@ var deterministicPkgSuffixes = []string{
 	"internal/stats",
 	"internal/loadgen",
 	"internal/privacy",
+	// The chaos schedule is a pure (seed, tick) function and the supervisor's
+	// relaunch backoff is Mix64-jittered: both replay in soak logs only if
+	// they never touch the wall clock or the global RNG.
+	"internal/chaos",
+	"internal/supervisor",
 }
 
 // globalRandExempt lists the math/rand package-level functions that are the

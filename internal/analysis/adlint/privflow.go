@@ -1,0 +1,299 @@
+package adlint
+
+// Analyzer privflow structurally enforces DESIGN §5d's merge-then-privatize
+// rule in the coordinator: raw per-shard insights responses must flow
+// through the merge and then through PrivatizeInsights before any wire
+// encoding, and must never be privatized below the merge. Both directions
+// matter for measurement validity — an unprivatized merged report leaks the
+// exact cells the k-anonymity floor exists to suppress, while privatizing a
+// partition slice both over-suppresses (per-shard counts sit below
+// thresholds the fleet-wide count clears) and stacks noise draws, so the
+// audit numbers stop matching the single-process engine.
+//
+// The check is a per-function taint walk in source order with three states:
+//
+//	raw      result of a shard client Insights/InsightsBreakdown call
+//	merged   result of an in-package many-to-one merge (a function taking a
+//	         slice of insights responses and returning a single one)
+//	private  result of PrivatizeInsights, or of an in-package call that
+//	         transitively reaches it (the call graph supplies this, which is
+//	         how router handlers calling Coordinator.Insights come out clean)
+//
+// Violations: PrivatizeInsights applied to a raw value (below-the-merge),
+// and a raw or merged value reaching a wire sink — writeJSON, json
+// Encode/Marshal — or returned from an exported function (insights leaving
+// the coordinator's API surface unprivatized).
+//
+// Scope is the coordinator package only: shards serve raw responses by
+// design (the merge refuses pre-privatized parts as a divergence).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Taint states, ordered so a max-join propagates the strongest claim.
+const (
+	taintNone = iota
+	taintRaw
+	taintMerged
+	taintPrivate
+)
+
+// Privflow is the analyzer instance.
+var Privflow = &Analyzer{
+	Name: "privflow",
+	Doc:  "coordinator insights must be merged then privatized exactly once before wire encoding",
+	Run:  runPrivflow,
+}
+
+func runPrivflow(pass *Pass) {
+	if !pathHasSuffix(pass.Pkg.Path(), "internal/coordinator") {
+		return
+	}
+	g := pass.callGraph()
+	for _, fd := range funcDecls(pass.Files) {
+		w := &privWalk{pass: pass, g: g, fd: fd, taint: map[types.Object]int{}}
+		w.walk()
+	}
+}
+
+// privWalk carries one function's taint map through a source-order walk.
+type privWalk struct {
+	pass  *Pass
+	g     *CallGraph
+	fd    *ast.FuncDecl
+	taint map[types.Object]int
+	lits  []*ast.FuncLit
+}
+
+func (w *privWalk) walk() {
+	ast.Inspect(w.fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, x)
+		case *ast.AssignStmt:
+			w.assign(x)
+		case *ast.CallExpr:
+			w.checkCall(x)
+		case *ast.ReturnStmt:
+			w.checkReturn(x)
+		}
+		return true
+	})
+}
+
+// inClosure reports whether n sits inside a function literal — a closure's
+// returns stay inside the declaring function, so only the declaration's own
+// returns are the API surface.
+func (w *privWalk) inClosure(n ast.Node) bool {
+	for _, lit := range w.lits {
+		if lit.Body != nil && lit.Body.Pos() <= n.Pos() && n.End() <= lit.Body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// assign updates the taint map. A single multi-value call on the right
+// taints every insights-typed name on the left.
+func (w *privWalk) assign(assign *ast.AssignStmt) {
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		t := w.exprTaint(assign.Rhs[0])
+		for _, lhs := range assign.Lhs {
+			w.setTaint(lhs, t)
+		}
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if i < len(assign.Rhs) {
+			w.setTaint(lhs, w.exprTaint(assign.Rhs[i]))
+		}
+	}
+}
+
+// setTaint records taint for the root of an assignable expression whose
+// static type is an insights response (the error half of `resp, err := …`
+// never carries taint). A write through an index or field (out[i] = resp)
+// taints the container; an untainted write through one leaves the
+// container's taint alone (a partial write does not launder the rest).
+func (w *privWalk) setTaint(lhs ast.Expr, t int) {
+	if lt := w.pass.TypesInfo.TypeOf(lhs); lt == nil || !isInsightsResponse(lt) {
+		return
+	}
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	obj := objOf(w.pass.TypesInfo, root)
+	if obj == nil {
+		return
+	}
+	if _, direct := ast.Unparen(lhs).(*ast.Ident); !direct && t == taintNone {
+		return
+	}
+	w.taint[obj] = t
+}
+
+// exprTaint classifies an expression against the lattice.
+func (w *privWalk) exprTaint(e ast.Expr) int {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := objOf(w.pass.TypesInfo, x); obj != nil {
+			return w.taint[obj]
+		}
+	case *ast.IndexExpr, *ast.StarExpr, *ast.SelectorExpr:
+		if root := rootIdent(e); root != nil {
+			if obj := objOf(w.pass.TypesInfo, root); obj != nil {
+				return w.taint[obj]
+			}
+		}
+	case *ast.UnaryExpr:
+		return w.exprTaint(x.X)
+	case *ast.CallExpr:
+		return w.callTaint(x)
+	}
+	return taintNone
+}
+
+// callTaint classifies a call's result.
+func (w *privWalk) callTaint(call *ast.CallExpr) int {
+	callee := calleeOf(w.pass.TypesInfo, call)
+	if callee == nil {
+		return taintNone
+	}
+	switch {
+	case isShardInsightsRead(callee):
+		return taintRaw
+	case isPrivatizeFn(callee):
+		return taintPrivate
+	case isMergeFn(w.g, callee):
+		return taintMerged
+	case w.g.DeclOf(callee) != nil && resultsInsights(callee) && w.g.Reaches(callee, isPrivatizeFn):
+		return taintPrivate
+	case resultsInsights(callee):
+		// A helper shuffling insights around (clone, filter) propagates the
+		// strongest taint among its arguments.
+		max := taintNone
+		for _, arg := range call.Args {
+			if t := w.exprTaint(arg); t > max {
+				max = t
+			}
+		}
+		return max
+	}
+	return taintNone
+}
+
+// checkCall reports below-the-merge privatization and tainted wire sinks.
+func (w *privWalk) checkCall(call *ast.CallExpr) {
+	callee := calleeOf(w.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	if isPrivatizeFn(callee) {
+		for _, arg := range call.Args {
+			if w.exprTaint(arg) == taintRaw {
+				w.pass.ReportfScoped(call.Pos(), scopePos(w.fd),
+					"PrivatizeInsights applied to a raw per-shard response: privatize only the merged fleet-wide report (DESIGN merge-then-privatize)")
+			}
+		}
+		return
+	}
+	if !isWireSink(callee) {
+		return
+	}
+	for _, arg := range call.Args {
+		switch w.exprTaint(arg) {
+		case taintRaw:
+			w.pass.ReportfScoped(call.Pos(), scopePos(w.fd),
+				"raw per-shard insights reach wire encoding without PrivatizeInsights")
+		case taintMerged:
+			w.pass.ReportfScoped(call.Pos(), scopePos(w.fd),
+				"merged insights reach wire encoding without PrivatizeInsights")
+		}
+	}
+}
+
+// checkReturn reports unprivatized insights leaving an exported function.
+func (w *privWalk) checkReturn(ret *ast.ReturnStmt) {
+	if !w.fd.Name.IsExported() || w.inClosure(ret) {
+		return
+	}
+	for _, r := range ret.Results {
+		switch w.exprTaint(r) {
+		case taintRaw:
+			w.pass.ReportfScoped(ret.Pos(), scopePos(w.fd),
+				"exported %s returns raw per-shard insights: merge and privatize before they leave the coordinator", w.fd.Name.Name)
+		case taintMerged:
+			w.pass.ReportfScoped(ret.Pos(), scopePos(w.fd),
+				"exported %s returns merged insights without PrivatizeInsights", w.fd.Name.Name)
+		}
+	}
+}
+
+// isInsightsResponse matches *InsightsResponse (any package spelling the
+// marketing wire type, so fixtures with a stub package behave like the real
+// one).
+func isInsightsResponse(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "InsightsResponse"
+}
+
+// isShardInsightsRead matches the shard client's raw reads.
+func isShardInsightsRead(f *types.Func) bool {
+	if f.Name() != "Insights" && f.Name() != "InsightsBreakdown" {
+		return false
+	}
+	recv := recvNamed(f)
+	return recv != nil && recv.Obj().Name() == "Client"
+}
+
+// isPrivatizeFn matches the privacy boundary.
+func isPrivatizeFn(f *types.Func) bool {
+	return f.Name() == "PrivatizeInsights"
+}
+
+// isMergeFn matches an in-package many-to-one merge: a parameter that is a
+// slice of insights responses, and an insights response among the results.
+func isMergeFn(g *CallGraph, f *types.Func) bool {
+	if g.DeclOf(f) == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || !resultsInsights(f) {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if s, ok := sig.Params().At(i).Type().(*types.Slice); ok && isInsightsResponse(s.Elem()) {
+			return true
+		}
+	}
+	return false
+}
+
+// resultsInsights reports whether f returns an insights response.
+func resultsInsights(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isInsightsResponse(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWireSink matches the encoding boundary: the router's writeJSON helper
+// and encoding/json's Encode/Marshal.
+func isWireSink(f *types.Func) bool {
+	if f.Name() == "writeJSON" {
+		return true
+	}
+	return pkgPathOf(f) == "encoding/json" && (f.Name() == "Encode" || f.Name() == "Marshal")
+}

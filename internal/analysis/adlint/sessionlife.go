@@ -1,0 +1,168 @@
+package adlint
+
+// Analyzer sessionlife enforces the day-session protocol's pairing
+// invariant: a function that opens a delivery day (BeginDaySession on the
+// platform, or BeginDay through the shard client) must pair it with
+// FinishDaySession/FinishDay or AbortDaySession/AbortDay on every path to a
+// return. This is the PR 6 leak class — a shard stuck in an open day
+// rejects the next BeginDay with a session conflict, and the fleet can only
+// recover by crash-restarting it.
+//
+// The check runs the flow engine per begin site with the call graph
+// supplying transitive discharge: `return c.scatter(..., finishClosure)`
+// counts because the statement reaches FinishDay through the closure. The
+// protocol splits responsibility across functions — the coordinator's
+// runDayOnce propagates tick errors and its caller Deliver owns the abort —
+// so error-propagating returns are excused when every in-package caller of
+// the leaking function transitively reaches a finish/abort call. A clean
+// (nil-error) return with the session still open, or an error return whose
+// callers provably never abort, is reported.
+//
+// Exemptions: functions named like protocol edges (the Begin*/Finish*/
+// Abort* definitions and client wrappers are the pairing vocabulary, not
+// users of it), and HTTP handlers (a *http.Request parameter) — the wire
+// protocol deliberately spans one session across many requests.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// sessionBeginNames are the calls that open a day session.
+var sessionBeginNames = map[string]bool{
+	"BeginDaySession": true,
+	"BeginDay":        true,
+}
+
+// sessionEndNames are the calls that discharge one.
+var sessionEndNames = map[string]bool{
+	"FinishDaySession": true,
+	"FinishDay":        true,
+	"AbortDaySession":  true,
+	"AbortDay":         true,
+}
+
+// Sessionlife is the analyzer instance.
+var Sessionlife = &Analyzer{
+	Name: "sessionlife",
+	Doc:  "BeginDaySession must be paired with FinishDaySession or AbortDaySession on every return path",
+	Run:  runSessionlife,
+}
+
+func runSessionlife(pass *Pass) {
+	g := pass.callGraph()
+	endPred := func(f *types.Func) bool { return sessionEndNames[f.Name()] }
+	for _, fd := range funcDecls(pass.Files) {
+		if sessionBeginNames[fd.Name.Name] || sessionEndNames[fd.Name.Name] {
+			continue // protocol edge or wrapper: defines the vocabulary
+		}
+		if paramOfType(pass.TypesInfo, fd, isHTTPRequestPtr) != nil {
+			continue // handlers hold sessions across requests by design
+		}
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		for _, call := range sessionBeginCalls(pass, fd) {
+			acquire := enclosingStmt(fd.Body, call)
+			if acquire == nil {
+				continue
+			}
+			ob := &flowOb{
+				acquire: acquire,
+				errObj:  assignedErr(pass.TypesInfo, acquire),
+				releases: func(n ast.Node) bool {
+					return g.nodeReaches(pass.TypesInfo, n, endPred)
+				},
+			}
+			seen := map[int]bool{}
+			for _, leak := range scanObligation(pass, fd.Body, fd.Type.Results, ob) {
+				line := pass.Fset.Position(leak.pos).Line
+				if seen[line] {
+					continue
+				}
+				seen[line] = true
+				if leak.errReturn && callersDischarge(g, fn, endPred) {
+					continue // caller-owned abort: the Deliver/runDayOnce split
+				}
+				begin := calleeOf(pass.TypesInfo, call)
+				name := "BeginDaySession"
+				if begin != nil {
+					name = begin.Name()
+				}
+				if leak.errReturn {
+					pass.ReportfScoped(leak.pos, scopePos(fd),
+						"day session opened by %s leaks on this error return and no caller of %s finishes or aborts it",
+						name, fd.Name.Name)
+				} else {
+					pass.ReportfScoped(leak.pos, scopePos(fd),
+						"day session opened by %s reaches this return without FinishDaySession or AbortDaySession",
+						name)
+				}
+			}
+		}
+	}
+}
+
+// sessionBeginCalls finds the direct begin calls in fd, including inside
+// function literals (a fan-out closure opens the session on behalf of the
+// statement that launches it).
+func sessionBeginCalls(pass *Pass, fd *ast.FuncDecl) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := calleeOf(pass.TypesInfo, call); f != nil && sessionBeginNames[f.Name()] {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	return calls
+}
+
+// callersDischarge reports whether fn has at least one in-package caller and
+// every caller transitively reaches a session finish/abort call on a path
+// that does not run through fn itself — the contract that lets a helper
+// propagate errors while its owner aborts. Reaching the finish only through
+// the leaking helper's own happy path proves nothing about the error path.
+func callersDischarge(g *CallGraph, fn *types.Func, endPred func(*types.Func) bool) bool {
+	if fn == nil {
+		return false
+	}
+	callers := g.CallersOf(fn)
+	if len(callers) == 0 {
+		return false
+	}
+	for _, caller := range callers {
+		if !g.reachesSkipping(caller, endPred, fn) && !endPred(caller) {
+			return false
+		}
+	}
+	return true
+}
+
+// assignedErr returns the error object bound by an acquisition statement
+// (the last error-typed left-hand side of the assignment), nil when the
+// statement binds none.
+func assignedErr(info *types.Info, stmt ast.Stmt) types.Object {
+	assign, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return nil
+	}
+	var errObj types.Object
+	for _, lhs := range assign.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := objOf(info, id); obj != nil && isErrorType(obj.Type()) {
+			errObj = obj
+		}
+	}
+	return errObj
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && namedIs(p.Elem(), "net/http", "Request")
+}

@@ -1,0 +1,83 @@
+// Package a is a bodyclose fixture: every *http.Response acquired from a
+// call must have its Body closed on all paths, discharged by a Close call
+// (deferred ones cover every later exit) or by handing the whole response
+// to someone else. Passing resp.Body to a reader is not a discharge.
+package a
+
+import (
+	"io"
+	"net/http"
+)
+
+// Leaky returns the status with the body still open.
+func Leaky(c *http.Client, url string) (int, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil // want "response body of resp .* is not closed"
+}
+
+// ReadNoClose hands resp.Body to a reader — readers do not close, so the
+// body still leaks.
+func ReadNoClose(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(resp.Body) // want "response body of resp .* is not closed"
+}
+
+// Deferred is the canonical shape (false-positive regression): the deferred
+// Close covers the early error return and the success return alike.
+func Deferred(c *http.Client, url string) (string, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// SuccessGuard is the probe-loop idiom (false-positive regression): the
+// `err == nil` branch is the only path holding a body, and it closes before
+// inspecting the status.
+func SuccessGuard(c *http.Client, url string) bool {
+	for i := 0; i < 3; i++ {
+		resp, err := c.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Escape returns the response whole: the caller owns the close
+// (false-positive regression).
+func Escape(c *http.Client, url string) (*http.Response, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// InClosure leaks inside a goroutine body: each function literal is its own
+// scan unit, and this one falls off its end with the body open.
+func InClosure(c *http.Client, url string, out chan<- int) {
+	go func() {
+		resp, err := c.Get(url)
+		if err != nil {
+			out <- 0
+			return
+		}
+		out <- resp.StatusCode
+	}() // want "response body of resp .* is not closed"
+}

@@ -1,0 +1,28 @@
+// Package supervisor is a detrand fixture: its import-path suffix
+// internal/supervisor is on the built-in determinism-critical list — the
+// relaunch backoff must be Mix64-jittered from seeded state, never from the
+// clock or the global RNG — with no file-level opt-in needed.
+package supervisor
+
+import (
+	"math/rand"
+	"time"
+)
+
+// JitterFromClock seeds the relaunch backoff from wall time, so two
+// identically-seeded soaks diverge at the first restart.
+func JitterFromClock() time.Duration {
+	return time.Duration(time.Now().UnixNano() % 1e6) // want "wall-clock read time.Now"
+}
+
+// GlobalJitter draws backoff jitter from the process-global generator.
+func GlobalJitter(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(int64(base/4))) // want "global rand.Int63n"
+}
+
+// SeededJitter is the sanctioned shape: jitter from an explicit seeded
+// source, pure in (seed, attempt).
+func SeededJitter(seed int64, attempt int, base time.Duration) time.Duration {
+	rng := rand.New(rand.NewSource(seed ^ int64(attempt)))
+	return base + time.Duration(rng.Int63n(int64(base/4)))
+}

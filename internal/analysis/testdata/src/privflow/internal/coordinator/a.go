@@ -1,0 +1,119 @@
+// Package coordinator is the privflow fixture: its import-path suffix
+// internal/coordinator puts it in scope, and it exercises both directions
+// of merge-then-privatize — raw or merged values reaching the wire, and
+// privatization applied below the merge — plus the compliant chain as the
+// false-positive regression.
+package coordinator
+
+import (
+	"encoding/json"
+	"io"
+
+	m "github.com/adaudit/impliedidentity/internal/analysis/testdata/src/privflow/internal/marketing"
+)
+
+// Coordinator fans reads out to the shard fleet.
+type Coordinator struct {
+	shards []*m.Client
+	cfg    m.Config
+}
+
+// writeJSON is the router's encoding boundary; privflow treats it as a wire
+// sink.
+func writeJSON(w io.Writer, code int, v any) {
+	_ = code
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Insights is the sanctioned chain (false-positive regression): gather raw
+// parts, merge once, privatize the merged report, and only then let it out.
+func (c *Coordinator) Insights(adID string) (*m.InsightsResponse, error) {
+	out := make([]*m.InsightsResponse, len(c.shards))
+	for i, sc := range c.shards {
+		resp, err := sc.Insights(adID)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	merged, err := mergeInsights(out)
+	if err != nil {
+		return nil, err
+	}
+	return m.PrivatizeInsights(c.cfg, merged), nil
+}
+
+// mergeInsights folds partition slices into the fleet-wide report.
+func mergeInsights(parts []*m.InsightsResponse) (*m.InsightsResponse, error) {
+	total := &m.InsightsResponse{}
+	for _, p := range parts {
+		total.Impressions += p.Impressions
+	}
+	return total, nil
+}
+
+// HandleInsights writes a response that went through the coordinator's
+// privatized path — clean because Insights reaches PrivatizeInsights
+// (false-positive regression for the call-graph classification).
+func (c *Coordinator) HandleInsights(w io.Writer, adID string) {
+	resp, err := c.Insights(adID)
+	if err != nil {
+		return
+	}
+	writeJSON(w, 200, resp)
+}
+
+// BelowMerge privatizes a partition slice: per-shard counts sit below the
+// k-anonymity floor and the noise draws stack at merge time.
+func (c *Coordinator) BelowMerge(adID string) error {
+	for _, sc := range c.shards {
+		raw, err := sc.Insights(adID)
+		if err != nil {
+			return err
+		}
+		_ = m.PrivatizeInsights(c.cfg, raw) // want "raw per-shard response"
+	}
+	return nil
+}
+
+// RawToWire serves one shard's slice straight to the encoder.
+func (c *Coordinator) RawToWire(w io.Writer, adID string) {
+	raw, _ := c.shards[0].Insights(adID)
+	writeJSON(w, 200, raw) // want "raw per-shard insights reach wire encoding"
+}
+
+// MergedToWire merges but forgets the privacy boundary.
+func (c *Coordinator) MergedToWire(w io.Writer, adID string) error {
+	parts := make([]*m.InsightsResponse, 0, len(c.shards))
+	for _, sc := range c.shards {
+		r, err := sc.InsightsBreakdown(adID, "age")
+		if err != nil {
+			return err
+		}
+		parts = append(parts, r)
+	}
+	merged, err := mergeInsights(parts)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, 200, merged) // want "merged insights reach wire encoding"
+	return nil
+}
+
+// Merged leaks the unprivatized fleet report through the exported API
+// surface.
+func (c *Coordinator) Merged(adID string) (*m.InsightsResponse, error) {
+	parts := make([]*m.InsightsResponse, 0, len(c.shards))
+	for _, sc := range c.shards {
+		r, err := sc.Insights(adID)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	}
+	merged, err := mergeInsights(parts)
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil // want "returns merged insights without PrivatizeInsights"
+}

@@ -1,0 +1,46 @@
+// Package marketing is the privflow fixture's stand-in for the real wire
+// types: an insights response, the shard client that serves it raw, and the
+// PrivatizeInsights boundary. The analyzer matches these by name and shape,
+// so the stub behaves exactly like the real package.
+package marketing
+
+// Config mirrors the privacy configuration knob.
+type Config struct {
+	K int
+}
+
+// PrivacyMarker mirrors the applied-privacy stamp on a response.
+type PrivacyMarker struct {
+	Level string
+}
+
+// InsightsResponse is the wire shape privflow tracks.
+type InsightsResponse struct {
+	AdID        string
+	Impressions int
+	Privacy     *PrivacyMarker
+}
+
+// Client is the per-shard HTTP client; its reads return raw partition
+// slices.
+type Client struct {
+	addr string
+}
+
+// Insights returns the shard's raw delivery report.
+func (c *Client) Insights(adID string) (*InsightsResponse, error) {
+	return &InsightsResponse{AdID: adID}, nil
+}
+
+// InsightsBreakdown returns the shard's raw per-dimension report.
+func (c *Client) InsightsBreakdown(adID string, dims ...string) (*InsightsResponse, error) {
+	return &InsightsResponse{AdID: adID}, nil
+}
+
+// PrivatizeInsights applies suppression and noise; privflow treats its
+// result as the only insights value allowed to reach the wire.
+func PrivatizeInsights(cfg Config, resp *InsightsResponse) *InsightsResponse {
+	out := *resp
+	out.Privacy = &PrivacyMarker{Level: "k-anon"}
+	return &out
+}

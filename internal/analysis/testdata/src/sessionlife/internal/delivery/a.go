@@ -1,0 +1,98 @@
+// Package delivery is a sessionlife fixture: every BeginDaySession /
+// BeginDay call must be paired with FinishDaySession/FinishDay or
+// AbortDaySession/AbortDay on all paths to a return, with the Deliver/
+// runDayOnce split honored — an error-propagating return is fine exactly
+// when every caller owns the abort on its own paths.
+package delivery
+
+import "net/http"
+
+// Platform stands in for the delivery engine's session protocol surface.
+type Platform struct{ open bool }
+
+func (p *Platform) BeginDaySession(day int) error  { p.open = true; return nil }
+func (p *Platform) FinishDaySession(day int) error { p.open = false; return nil }
+func (p *Platform) AbortDaySession()               { p.open = false }
+func (p *Platform) DaySessionTick() error          { return nil }
+
+// RunDayLeaky opens a day and returns success without closing it — the
+// exact leak class: the next BeginDaySession will hit a session conflict.
+func RunDayLeaky(p *Platform) error {
+	if err := p.BeginDaySession(1); err != nil {
+		return err
+	}
+	_ = p.DaySessionTick()
+	return nil // want "without FinishDaySession or AbortDaySession"
+}
+
+// RunDayClean is the canonical pairing (false-positive regression): abort
+// on the tick error path, finish on success.
+func RunDayClean(p *Platform) error {
+	if err := p.BeginDaySession(2); err != nil {
+		return err
+	}
+	if err := p.DaySessionTick(); err != nil {
+		p.AbortDaySession()
+		return err
+	}
+	return p.FinishDaySession(2)
+}
+
+// runDayHelper propagates the tick error with the session open. Its only
+// caller, drive, never aborts — so the helper's error return is a real
+// leak, not a caller-owned one.
+func runDayHelper(p *Platform) error {
+	if err := p.BeginDaySession(3); err != nil {
+		return err
+	}
+	if err := p.DaySessionTick(); err != nil {
+		return err // want "leaks on this error return and no caller of runDayHelper"
+	}
+	return p.FinishDaySession(3)
+}
+
+func drive(p *Platform) { _ = runDayHelper(p) }
+
+// openDay propagates errors with the session open, but every caller (Drive)
+// aborts on failure and finishes on success — the coordinator's
+// Deliver/runDayOnce split (false-positive regression).
+func openDay(p *Platform) error {
+	if err := p.BeginDaySession(4); err != nil {
+		return err
+	}
+	return p.DaySessionTick()
+}
+
+// Drive owns the pairing for openDay's session.
+func Drive(p *Platform) error {
+	if err := openDay(p); err != nil {
+		p.AbortDaySession()
+		return err
+	}
+	return p.FinishDaySession(4)
+}
+
+// with mimics the coordinator's scatter: it runs the closure synchronously.
+func with(fn func() error) error { return fn() }
+
+// Scatter opens and closes the session through fan-out closures — the
+// literal's calls count for the statement that launches it (false-positive
+// regression for the closure-collapse rule).
+func Scatter(p *Platform) error {
+	err := with(func() error { return p.BeginDaySession(5) })
+	if err != nil {
+		return err
+	}
+	return with(func() error { return p.FinishDaySession(5) })
+}
+
+// BeginDay is a protocol wrapper: functions named like the protocol edges
+// define the pairing vocabulary and are exempt.
+func BeginDay(p *Platform, day int) error { return p.BeginDaySession(day) }
+
+// HandleBegin is an HTTP handler: the wire protocol holds one session open
+// across many requests by design, so handlers are exempt.
+func HandleBegin(w http.ResponseWriter, r *http.Request, p *Platform) {
+	_ = p.BeginDaySession(9)
+	w.WriteHeader(http.StatusOK)
+}

@@ -1,5 +1,3 @@
-//adlint:deterministic
-
 // Package chaos is a deterministic chaos orchestrator for the multi-process
 // serving tier: it disturbs real shard child processes — kill, SIGSTOP
 // pauses, slowed and partitioned links — on a schedule that is a pure

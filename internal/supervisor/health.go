@@ -25,8 +25,6 @@
 // mutation journal gap and pass the cross-shard digest gate (the
 // coordinator's TryRejoin) before MarkHealthy moves it back, which is also
 // where MTTR is measured — down-detection to verified readmission.
-//
-//adlint:deterministic
 package supervisor
 
 import (
