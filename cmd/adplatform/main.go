@@ -178,7 +178,7 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("marketing API listening at http://%s (%d users); metrics at /metrics, liveness at /healthz\n",
-		ln.Addr(), len(pop.Users))
+		ln.Addr(), pop.Len())
 	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 
 	// Serve until the listener fails or a shutdown signal arrives, then

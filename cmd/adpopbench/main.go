@@ -1,0 +1,466 @@
+// Command adpopbench records and checks BENCH_population_v1.json — the
+// committed benchmark artifact for the columnar population engine.
+//
+// Default mode builds seeded worlds at 100k, 1M, and 10M users via the
+// streaming generator and measures, per scale: generation throughput
+// (users/sec), retained bytes/user (Population.MemoryBytes), and one full
+// delivery day's throughput over a fixed-size custom audience. At the
+// smallest scale it also materializes the legacy per-user struct layout
+// (struct + hex key + map entry) to measure the bytes/user the columnar
+// refactor replaced.
+//
+//	go run ./cmd/adpopbench -out BENCH_population_v1.json
+//
+// Smoke mode (`-smoke -baseline BENCH_population_v1.json`) is the CI gate:
+// it rebuilds the 100k world, runs one delivery day at workers 1 and 4, and
+// fails if either delivery digest diverges from the committed artifact or
+// generation throughput regressed by more than 2x. The digest check is the
+// cheap end-to-end determinism proof — any change to RNG draw order anywhere
+// in generation, matching, or delivery shows up as a digest flip here.
+//
+//	go run ./cmd/adpopbench -smoke -baseline BENCH_population_v1.json
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/adaudit/impliedidentity/internal/demo"
+	"github.com/adaudit/impliedidentity/internal/image"
+	"github.com/adaudit/impliedidentity/internal/platform"
+	"github.com/adaudit/impliedidentity/internal/population"
+	"github.com/adaudit/impliedidentity/internal/voter"
+)
+
+// Seeds are fixed so the artifact is reproducible and the smoke digests are
+// stable across recordings: only hardware-dependent numbers (seconds,
+// users/sec) may differ between hosts.
+const (
+	seedGenFL    = 31001
+	seedGenNC    = 31002
+	seedPop      = 31003
+	seedPlatform = 31004
+	seedRun      = 31500
+
+	streamChunk    = 65536
+	audienceTarget = 40000
+	dayWorkers     = 1
+)
+
+type scaleDef struct {
+	name           string
+	votersPerState int
+}
+
+// votersPerState ≈ targetUsers / (2 states × ~0.64 effective match rate),
+// padded so each scale lands at or just above its nominal user count.
+var scales = []scaleDef{
+	{"100k", 78_500},
+	{"1m", 785_000},
+	{"10m", 7_850_000},
+}
+
+type dayResult struct {
+	AudienceUsers   int     `json:"audience_users"`
+	Ticks           int     `json:"ticks"`
+	Workers         int     `json:"workers"`
+	Seconds         float64 `json:"seconds"`
+	UserTicksPerSec float64 `json:"user_ticks_per_sec"`
+	Impressions     int64   `json:"impressions"`
+	Digest          string  `json:"digest"`
+}
+
+type scaleResult struct {
+	Name         string     `json:"name"`
+	Voters       int        `json:"voters"`
+	Users        int        `json:"users"`
+	BuildSeconds float64    `json:"build_seconds"`
+	UsersPerSec  float64    `json:"users_per_sec"`
+	BytesPerUser int64      `json:"bytes_per_user"`
+	Day          *dayResult `json:"day"`
+}
+
+type smokeSection struct {
+	Scale       string  `json:"scale"`
+	Users       int     `json:"users"`
+	DigestW1    string  `json:"digest_w1"`
+	DigestW4    string  `json:"digest_w4"`
+	UsersPerSec float64 `json:"users_per_sec"`
+}
+
+type benchFile struct {
+	Schema  string `json:"schema"`
+	Date    string `json:"date"`
+	Command string `json:"command"`
+	Host    struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Layout struct {
+		ColumnarBudgetBytesPerUser int64   `json:"columnar_budget_bytes_per_user"`
+		LegacyBytesPerUserMeasured int64   `json:"legacy_bytes_per_user_measured"`
+		ReductionX                 float64 `json:"reduction_x"`
+	} `json:"layout"`
+	Scales []scaleResult `json:"scales"`
+	Smoke  smokeSection  `json:"smoke"`
+	Notes  []string      `json:"notes"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the benchmark JSON to this path (default: stdout)")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: check the 100k world against -baseline")
+	baseline := flag.String("baseline", "BENCH_population_v1.json", "committed artifact to compare against in -smoke mode")
+	scaleList := flag.String("scales", "100k,1m,10m", "comma-separated subset of scales to record")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "adpopbench: SMOKE FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("adpopbench: smoke OK")
+		return
+	}
+	if err := record(*out, *scaleList); err != nil {
+		fmt.Fprintln(os.Stderr, "adpopbench:", err)
+		os.Exit(1)
+	}
+}
+
+func generatorConfigs(votersPerState int) []voter.GeneratorConfig {
+	fl := voter.DefaultGeneratorConfig(demo.StateFL, seedGenFL)
+	fl.NumVoters = votersPerState
+	nc := voter.DefaultGeneratorConfig(demo.StateNC, seedGenNC)
+	nc.NumVoters = votersPerState
+	return []voter.GeneratorConfig{fl, nc}
+}
+
+// buildScale streams the population for one scale and fills the generation
+// metrics.
+func buildScale(sc scaleDef) (*population.Population, scaleResult, error) {
+	res := scaleResult{Name: sc.name, Voters: 2 * sc.votersPerState}
+	start := time.Now()
+	pop, err := population.Stream(population.Config{Seed: seedPop}, streamChunk, generatorConfigs(sc.votersPerState)...)
+	if err != nil {
+		return nil, res, err
+	}
+	res.BuildSeconds = time.Since(start).Seconds()
+	res.Users = pop.Len()
+	res.UsersPerSec = float64(pop.Len()) / res.BuildSeconds
+	res.BytesPerUser = pop.MemoryBytes() / int64(pop.Len())
+	return pop, res, nil
+}
+
+// newDayPlatform builds a delivery platform over pop with a custom audience
+// drawn from every k-th user's PII key (k chosen so the audience is the same
+// size at every scale, keeping day throughput comparable).
+func newDayPlatform(pop *population.Population) (*platform.Platform, string, int, error) {
+	behave, err := population.NewBehavior(population.DefaultBehaviorConfig())
+	if err != nil {
+		return nil, "", 0, err
+	}
+	cfg := platform.DefaultConfig(seedPlatform)
+	cfg.Training.LogRows = 12000
+	cfg.ReviewRejectProb = 0
+	p, err := platform.New(cfg, pop, behave)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	stride := pop.Len() / audienceTarget
+	if stride < 1 {
+		stride = 1
+	}
+	hashes := make([]string, 0, audienceTarget)
+	for i := 0; i < pop.Len() && len(hashes) < audienceTarget; i += stride {
+		hashes = append(hashes, pop.View(i).PIIKey())
+	}
+	ca, err := p.CreateCustomAudience("popbench", hashes)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	return p, ca.ID, cfg.Ticks, nil
+}
+
+// adSet mirrors the delivery bench's four-profile Traffic campaign: budgets
+// far above the market ceiling so pacing, not exhaustion, shapes delivery.
+func adSet(p *platform.Platform, caID string) ([]string, error) {
+	cmp, err := p.CreateCampaign("popbench", platform.ObjectiveTraffic, platform.SpecialNone, 2019)
+	if err != nil {
+		return nil, err
+	}
+	targeting := platform.Targeting{CustomAudienceIDs: []string{caID}}
+	ids := make([]string, 0, 4)
+	for _, prof := range []demo.Profile{
+		{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedAdult},
+		{Gender: demo.GenderMale, Race: demo.RaceBlack, Age: demo.ImpliedAdult},
+		{Gender: demo.GenderFemale, Race: demo.RaceWhite, Age: demo.ImpliedAdult},
+		{Gender: demo.GenderFemale, Race: demo.RaceBlack, Age: demo.ImpliedAdult},
+	} {
+		creative := platform.Creative{Image: image.FromProfile(prof), Headline: "h", LinkURL: "https://example.com"}
+		ad, err := p.CreateAd(cmp.ID, creative, targeting, 2_000_000)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, ad.ID)
+	}
+	return ids, nil
+}
+
+// deliveryDigest is the same canonicalization as the delivery bench's digest
+// metric (ad IDs normalized to creation order, map cells sorted), but keeps
+// the full SHA-256 hex instead of folding to 32 bits.
+func deliveryDigest(p *platform.Platform, ids []string) (string, int64, error) {
+	h := sha256.New()
+	var impressions int64
+	for i, id := range ids {
+		st, err := p.Insights(id)
+		if err != nil {
+			return "", 0, err
+		}
+		impressions += int64(st.Impressions)
+		fmt.Fprintf(h, "ad#%d|%d|%d|%d|%.6f|%v|", i, st.Impressions, st.Reach, st.Clicks, st.SpendCents, st.HourlySeries)
+		cells := make([]platform.BreakdownKey, 0, len(st.Breakdown))
+		for k := range st.Breakdown {
+			cells = append(cells, k)
+		}
+		sort.Slice(cells, func(a, c int) bool {
+			ka, kc := cells[a], cells[c]
+			if ka.Age != kc.Age {
+				return ka.Age < kc.Age
+			}
+			if ka.Gender != kc.Gender {
+				return ka.Gender < kc.Gender
+			}
+			return ka.Region < kc.Region
+		})
+		for _, k := range cells {
+			fmt.Fprintf(h, "%d/%d/%d=%d|", k.Age, k.Gender, k.Region, st.Breakdown[k])
+		}
+		races := make([]demo.Race, 0, len(st.RaceOracle))
+		for r := range st.RaceOracle {
+			races = append(races, r)
+		}
+		sort.Slice(races, func(a, c int) bool { return races[a] < races[c] })
+		for _, r := range races {
+			fmt.Fprintf(h, "r%d=%d|", r, st.RaceOracle[r])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), impressions, nil
+}
+
+// runDay creates a fresh ad set and runs one full delivery day, returning
+// throughput and the canonical digest.
+func runDay(p *platform.Platform, caID string, ticks, workers int) (*dayResult, error) {
+	ids, err := adSet(p, caID)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := p.RunDayWorkers(ids, seedRun, workers); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start).Seconds()
+	digest, impressions, err := deliveryDigest(p, ids)
+	if err != nil {
+		return nil, err
+	}
+	return &dayResult{
+		AudienceUsers:   audienceTarget,
+		Ticks:           ticks,
+		Workers:         workers,
+		Seconds:         elapsed,
+		UserTicksPerSec: float64(audienceTarget*ticks) / elapsed,
+		Impressions:     impressions,
+		Digest:          digest,
+	}, nil
+}
+
+// legacyMeasureUser is the pre-columnar per-user representation, rebuilt
+// from views purely to measure what it retained per user: an 80-byte struct,
+// a 64-byte heap-allocated hex key, and a map entry.
+type legacyMeasureUser struct {
+	ID         int
+	State      demo.State
+	ZIP        string
+	Age        int
+	Gender     demo.Gender
+	Race       demo.Race
+	Activity   float64
+	PIIKey     string
+	TravelProb float64
+}
+
+func measureLegacyBytesPerUser(pop *population.Population) int64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	n := pop.Len()
+	users := make([]legacyMeasureUser, 0, n)
+	byPII := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		v := pop.View(i)
+		u := legacyMeasureUser{
+			ID: i, State: v.State(), ZIP: v.ZIP(), Age: v.Age(),
+			Gender: v.Gender(), Race: v.Race(), Activity: v.Activity(),
+			PIIKey: v.PIIKey(), TravelProb: v.TravelProb(),
+		}
+		byPII[u.PIIKey] = i
+		users = append(users, u)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	perUser := (int64(after.HeapAlloc) - int64(before.HeapAlloc)) / int64(n)
+	runtime.KeepAlive(users)
+	runtime.KeepAlive(byPII)
+	return perUser
+}
+
+func record(outPath, scaleList string) error {
+	want := map[string]bool{}
+	for _, s := range strings.Split(scaleList, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+
+	var bf benchFile
+	bf.Schema = "adaudit/bench-population/v1"
+	bf.Date = time.Now().UTC().Format("2006-01-02")
+	bf.Command = "go run ./cmd/adpopbench -out BENCH_population_v1.json"
+	bf.Host.GOOS = runtime.GOOS
+	bf.Host.GOARCH = runtime.GOARCH
+	bf.Host.NumCPU = runtime.NumCPU()
+	bf.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	bf.Host.GoVersion = runtime.Version()
+	bf.Layout.ColumnarBudgetBytesPerUser = 64
+
+	for _, sc := range scales {
+		if !want[sc.name] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "== scale %s: streaming %d voters\n", sc.name, 2*sc.votersPerState)
+		pop, res, err := buildScale(sc)
+		if err != nil {
+			return fmt.Errorf("scale %s: %w", sc.name, err)
+		}
+		fmt.Fprintf(os.Stderr, "   %d users in %.1fs (%.0f users/sec, %d B/user)\n",
+			res.Users, res.BuildSeconds, res.UsersPerSec, res.BytesPerUser)
+
+		if bf.Layout.LegacyBytesPerUserMeasured == 0 {
+			bf.Layout.LegacyBytesPerUserMeasured = measureLegacyBytesPerUser(pop)
+			bf.Layout.ReductionX = float64(bf.Layout.LegacyBytesPerUserMeasured) / float64(res.BytesPerUser)
+			fmt.Fprintf(os.Stderr, "   legacy layout: %d B/user (%.1fx reduction)\n",
+				bf.Layout.LegacyBytesPerUserMeasured, bf.Layout.ReductionX)
+		}
+
+		p, caID, ticks, err := newDayPlatform(pop)
+		if err != nil {
+			return fmt.Errorf("scale %s platform: %w", sc.name, err)
+		}
+		day, err := runDay(p, caID, ticks, dayWorkers)
+		if err != nil {
+			return fmt.Errorf("scale %s day: %w", sc.name, err)
+		}
+		res.Day = day
+		fmt.Fprintf(os.Stderr, "   day: %.1fs, %.0f user-ticks/sec, digest %s\n",
+			day.Seconds, day.UserTicksPerSec, day.Digest[:16])
+		bf.Scales = append(bf.Scales, res)
+
+		// The smallest recorded scale doubles as the CI smoke reference:
+		// digests at workers 1 and 4 plus the generation throughput floor.
+		if bf.Smoke.Scale == "" {
+			day4, err := runDay(p, caID, ticks, 4)
+			if err != nil {
+				return fmt.Errorf("scale %s day workers=4: %w", sc.name, err)
+			}
+			bf.Smoke = smokeSection{
+				Scale:       sc.name,
+				Users:       res.Users,
+				DigestW1:    day.Digest,
+				DigestW4:    day4.Digest,
+				UsersPerSec: res.UsersPerSec,
+			}
+		}
+	}
+
+	bf.Notes = []string{
+		"Seeds fixed (gen 31001/31002, pop 31003, platform 31004, run 31500): digests must be identical across hosts and recordings; only seconds/users_per_sec are hardware-dependent.",
+		"Day throughput uses a fixed 40k-user custom audience at every scale so the per-scale day rows isolate population size effects (PII match + view reads), not auction count.",
+		"legacy_bytes_per_user_measured materializes the pre-columnar struct+hexkey+map layout from the same population; reduction_x = legacy / columnar bytes per user.",
+		"The smoke section is checked by `adpopbench -smoke` in CI: digest divergence at workers 1 or 4, or a >2x users_per_sec regression, fails the build.",
+	}
+
+	data, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+func runSmoke(baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	if base.Smoke.Scale == "" {
+		return fmt.Errorf("%s has no smoke section", baselinePath)
+	}
+	var sc *scaleDef
+	for i := range scales {
+		if scales[i].name == base.Smoke.Scale {
+			sc = &scales[i]
+		}
+	}
+	if sc == nil {
+		return fmt.Errorf("unknown smoke scale %q", base.Smoke.Scale)
+	}
+
+	pop, res, err := buildScale(*sc)
+	if err != nil {
+		return err
+	}
+	if res.Users != base.Smoke.Users {
+		return fmt.Errorf("population size %d, committed %d — generation determinism broken", res.Users, base.Smoke.Users)
+	}
+	fmt.Printf("smoke: %d users at %.0f users/sec (committed %.0f)\n", res.Users, res.UsersPerSec, base.Smoke.UsersPerSec)
+	if res.UsersPerSec*2 < base.Smoke.UsersPerSec {
+		return fmt.Errorf("generation throughput %.0f users/sec is <half the committed %.0f", res.UsersPerSec, base.Smoke.UsersPerSec)
+	}
+
+	p, caID, ticks, err := newDayPlatform(pop)
+	if err != nil {
+		return err
+	}
+	for _, chk := range []struct {
+		workers int
+		want    string
+	}{{1, base.Smoke.DigestW1}, {4, base.Smoke.DigestW4}} {
+		day, err := runDay(p, caID, ticks, chk.workers)
+		if err != nil {
+			return err
+		}
+		if day.Digest != chk.want {
+			return fmt.Errorf("workers=%d delivery digest diverged from committed artifact:\n got %s\nwant %s", chk.workers, day.Digest, chk.want)
+		}
+		fmt.Printf("smoke: workers=%d digest %s… matches committed artifact\n", chk.workers, day.Digest[:16])
+	}
+	return nil
+}

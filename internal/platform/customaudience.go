@@ -51,11 +51,11 @@ func (p *Platform) CreateCustomAudience(name string, piiHashes []string) (*Custo
 	seen := map[int]bool{}
 	for _, h := range piiHashes {
 		u, ok := p.pop.LookupPII(h)
-		if !ok || seen[u.ID] {
+		if !ok || seen[u.ID()] {
 			continue
 		}
-		seen[u.ID] = true
-		ca.members = append(ca.members, u.ID)
+		seen[u.ID()] = true
+		ca.members = append(ca.members, u.ID())
 	}
 	ca.Size = len(ca.members)
 	p.audiences[ca.ID] = ca
@@ -96,7 +96,7 @@ func (p *Platform) resolveAudience(t *Targeting) ([]int, error) {
 	}
 	var out []int
 	for idx := range inUnion {
-		if t.matchesUser(&p.pop.Users[idx]) {
+		if t.matchesUser(p.pop.View(idx)) {
 			out = append(out, idx)
 		}
 	}

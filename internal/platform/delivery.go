@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"github.com/adaudit/impliedidentity/internal/demo"
@@ -110,7 +109,7 @@ func (p *Platform) RunDayWorkers(adIDs []string, seed int64, workers int) error 
 	if workers > maxDeliveryWorkers {
 		workers = maxDeliveryWorkers
 	}
-	active, adsByUser, users, err := p.prepareDay(adIDs)
+	active, elig, err := p.prepareDay(adIDs)
 	if err != nil {
 		return err
 	}
@@ -122,9 +121,9 @@ func (p *Platform) RunDayWorkers(adIDs []string, seed int64, workers int) error 
 	var auctions int64
 	var merge time.Duration
 	if workers == 1 {
-		auctions = p.runDaySequential(active, adsByUser, users, seed)
+		auctions = p.runDaySequential(active, elig, seed)
 	} else {
-		auctions, merge = p.runDaySharded(active, adsByUser, users, seed, workers)
+		auctions, merge = p.runDaySharded(active, elig, seed, workers)
 	}
 
 	var impressions int64
@@ -147,17 +146,17 @@ func (p *Platform) RunDayWorkers(adIDs []string, seed int64, workers int) error 
 	return nil
 }
 
-// prepareDay resolves a delivery request into the run's active ad set,
-// audience index, and sorted user list, and initializes per-run ad state
-// (zeroed spend, run index, starting pacing). It is shared by RunDayWorkers
-// and the coordinated day session (delivery_session.go) and consumes no
-// randomness, so every shard of a coordinated day derives the identical
-// plan from the same CRUD state. The caller holds p.mu for writing.
-func (p *Platform) prepareDay(adIDs []string) (active []*Ad, adsByUser map[int][]*Ad, users []int, err error) {
+// prepareDay resolves a delivery request into the run's active ad set and
+// CSR eligibility index, and initializes per-run ad state (zeroed spend, run
+// index, starting pacing). It is shared by RunDayWorkers and the coordinated
+// day session (delivery_session.go) and consumes no randomness, so every
+// shard of a coordinated day derives the identical plan from the same CRUD
+// state. The caller holds p.mu for writing.
+func (p *Platform) prepareDay(adIDs []string) (active []*Ad, elig *eligIndex, err error) {
 	for _, id := range adIDs {
 		ad, err := p.adLocked(id)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		switch ad.Status {
 		case StatusActive:
@@ -165,15 +164,13 @@ func (p *Platform) prepareDay(adIDs []string) (active []*Ad, adsByUser map[int][
 		case StatusRejected:
 			// Skipped, not an error.
 		default:
-			return nil, nil, nil, fmt.Errorf("platform: ad %s is %v, cannot deliver", id, ad.Status)
+			return nil, nil, fmt.Errorf("platform: ad %s is %v, cannot deliver", id, ad.Status)
 		}
 	}
 	if len(active) == 0 {
-		return nil, nil, nil, fmt.Errorf("platform: no active ads to deliver")
+		return nil, nil, fmt.Errorf("platform: no active ads to deliver")
 	}
 
-	// Index ads by targeted user and initialize per-run state.
-	adsByUser = map[int][]*Ad{}
 	for i, ad := range active {
 		ad.spent = 0
 		ad.runIdx = i
@@ -183,17 +180,8 @@ func (p *Platform) prepareDay(adIDs []string) (active []*Ad, adsByUser map[int][
 		// would burn their budget at eAR-scaled bids ~25× too high.
 		meanTerm := p.meanOptimizationTerm(ad)
 		ad.pacing = math.Min(math.Max(2*p.cfg.CompetitionBase/meanTerm, 0.005), 50)
-		for _, idx := range ad.audience {
-			adsByUser[idx] = append(adsByUser[idx], ad)
-		}
 	}
-	users = make([]int, 0, len(adsByUser))
-	for idx := range adsByUser {
-		users = append(users, idx)
-	}
-	// Deterministic base order before the per-tick seeded shuffles.
-	sort.Ints(users)
-	return active, adsByUser, users, nil
+	return active, buildEligIndex(active), nil
 }
 
 // newAdStats allocates an empty delivery report sized for the configured
@@ -215,6 +203,7 @@ func (p *Platform) newAdStats(adID string) *AdStats {
 // until the coordinator commits the day.
 type seqDay struct {
 	rng       *rand.Rand
+	active    []*Ad // by run index, the CSR index's ad addressing
 	stats     map[string]*AdStats
 	reached   map[string]map[int]struct{}
 	frequency map[string]map[int]int
@@ -226,6 +215,7 @@ type seqDay struct {
 func newSeqDay(active []*Ad, seed int64, stats map[string]*AdStats, serve func(int, *Ad, bool)) *seqDay {
 	sd := &seqDay{
 		rng:       rand.New(rand.NewSource(seed)),
+		active:    active,
 		stats:     stats,
 		reached:   make(map[string]map[int]struct{}, len(active)),
 		frequency: make(map[string]map[int]int, len(active)),
@@ -242,8 +232,9 @@ func newSeqDay(active []*Ad, seed int64, stats map[string]*AdStats, serve func(i
 // auctions applied to shared state in user-visit order. Its output defines
 // the determinism contract every parallel configuration is differentially
 // tested against, so its draw order must never change.
-func (p *Platform) runDaySequential(active []*Ad, adsByUser map[int][]*Ad, users []int, seed int64) int64 {
+func (p *Platform) runDaySequential(active []*Ad, elig *eligIndex, seed int64) int64 {
 	sd := newSeqDay(active, seed, p.stats, p.recordServed)
+	order := elig.rowOrder()
 	var auctions int64
 	ticks := p.cfg.Ticks
 	for tick := 0; tick < ticks; tick++ {
@@ -256,7 +247,7 @@ func (p *Platform) runDaySequential(active []*Ad, adsByUser map[int][]*Ad, users
 			ad.pacing, ad.tickCap = pacingStep(ad.pacing, ad.spent, float64(ad.DailyBudgetCents)/100, elapsed, ticks, p.cfg.GreedyPacing)
 			ad.tickSpent = 0
 		}
-		auctions += p.seqTick(sd, adsByUser, users, tick)
+		auctions += p.seqTick(sd, elig, order, tick)
 	}
 	for _, ad := range active {
 		p.stats[ad.ID].Reach = len(sd.reached[ad.ID])
@@ -267,28 +258,32 @@ func (p *Platform) runDaySequential(active []*Ad, adsByUser map[int][]*Ad, users
 // seqTick runs one sequential-engine tick: visit users in a fresh random
 // order (so no ad's spend window correlates with a fixed slice of the
 // audience), running each user's sessions. The shuffle permutes the caller's
-// user slice in place — order persists across ticks, exactly like the
-// original inline loop.
-func (p *Platform) seqTick(sd *seqDay, adsByUser map[int][]*Ad, users []int, tick int) int64 {
+// row-position slice in place — order persists across ticks, exactly like
+// the original inline loop over the sorted user list (position i starts as
+// the i-th targeted user in ascending population order, so the draw sequence
+// is unchanged from the map-index era).
+func (p *Platform) seqTick(sd *seqDay, elig *eligIndex, order []int32, tick int) int64 {
 	rng := sd.rng
-	rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	var auctions int64
 	ticks := float64(p.cfg.Ticks)
-	for _, idx := range users {
-		u := &p.pop.Users[idx]
-		sessions := poisson(rng, u.Activity/ticks)
+	for _, pos := range order {
+		u := p.pop.View(int(elig.users[pos]))
+		sessions := poisson(rng, u.Activity()/ticks)
 		auctions += int64(sessions)
 		for s := 0; s < sessions; s++ {
-			p.auction(sd, u, adsByUser[idx], tick)
+			p.auction(sd, u, elig.adsFor(pos), tick)
 		}
 	}
 	return auctions
 }
 
-// auction runs one ad slot: the eligible audit ads compete with each other
-// and with background advertiser demand; the winner pays the second price.
-func (p *Platform) auction(sd *seqDay, u *population.User, eligible []*Ad, tick int) {
+// auction runs one ad slot: the eligible audit ads (run indexes into
+// sd.active, straight out of the CSR index) compete with each other and with
+// background advertiser demand; the winner pays the second price.
+func (p *Platform) auction(sd *seqDay, u population.UserView, eligible []int32, tick int) {
 	rng := sd.rng
+	uid := u.ID()
 	bg := p.backgroundBid(rng, u)
 	var winner *Ad
 	best, second := bg, 0.0
@@ -299,11 +294,11 @@ func (p *Platform) auction(sd *seqDay, u *population.User, eligible []*Ad, tick 
 		off = rng.Intn(len(eligible))
 	}
 	for k := range eligible {
-		ad := eligible[(k+off)%len(eligible)]
+		ad := sd.active[eligible[(k+off)%len(eligible)]]
 		if ad.pacing <= 0 || ad.spent >= float64(ad.DailyBudgetCents)/100 || ad.tickSpent >= ad.tickCap {
 			continue
 		}
-		if p.cfg.FrequencyCap > 0 && sd.frequency[ad.ID][u.ID] >= p.cfg.FrequencyCap {
+		if p.cfg.FrequencyCap > 0 && sd.frequency[ad.ID][uid] >= p.cfg.FrequencyCap {
 			continue
 		}
 		value := ad.pacing*p.optimizationTerm(ad, u) + p.cfg.Quality
@@ -338,12 +333,12 @@ func (p *Platform) auction(sd *seqDay, u *population.User, eligible []*Ad, tick 
 	st.HourlySeries[tick]++
 	st.Breakdown[BreakdownKey{
 		Age:    u.AgeBucket(),
-		Gender: u.Gender,
+		Gender: u.Gender(),
 		Region: p.deliveryRegion(rng, u),
 	}]++
-	st.RaceOracle[u.Race]++
-	sd.reached[winner.ID][u.ID] = struct{}{}
-	sd.frequency[winner.ID][u.ID]++
+	st.RaceOracle[u.Race()]++
+	sd.reached[winner.ID][uid] = struct{}{}
+	sd.frequency[winner.ID][uid]++
 	// Traffic objective: record clicks from ground-truth behaviour and log
 	// the served impression into the retraining buffer — the feedback loop
 	// Retrain closes.
@@ -351,7 +346,7 @@ func (p *Platform) auction(sd *seqDay, u *population.User, eligible []*Ad, tick 
 	if clicked {
 		st.Clicks++
 	}
-	sd.serve(u.ID, winner, clicked)
+	sd.serve(uid, winner, clicked)
 }
 
 // optimizationTerm computes the per-user multiplier the delivery objective
@@ -360,7 +355,7 @@ func (p *Platform) auction(sd *seqDay, u *population.User, eligible []*Ad, tick 
 // Conversions — the highest-intent objective — applies a sharper exponent,
 // concentrating delivery even harder on the users the model scores highest.
 // The paper ran everything under Traffic; experiment E13 varies this.
-func (p *Platform) optimizationTerm(ad *Ad, u *population.User) float64 {
+func (p *Platform) optimizationTerm(ad *Ad, u population.UserView) float64 {
 	if !p.cfg.UseEAR || ad.Objective == ObjectiveAwareness {
 		return 1
 	}
@@ -384,7 +379,7 @@ func (p *Platform) meanOptimizationTerm(ad *Ad) float64 {
 	var sum float64
 	var count int
 	for i := 0; i < n; i += step {
-		sum += p.optimizationTerm(ad, &p.pop.Users[ad.audience[i]])
+		sum += p.optimizationTerm(ad, p.pop.View(ad.audience[i]))
 		count++
 	}
 	if count == 0 || sum <= 0 {
@@ -396,13 +391,13 @@ func (p *Platform) meanOptimizationTerm(ad *Ad) float64 {
 // backgroundBid draws the highest competing total value for a slot.
 // Competition is stiffer for younger users, making them more expensive for
 // a budget-paced ad to win.
-func (p *Platform) backgroundBid(rng *rand.Rand, u *population.User) float64 {
+func (p *Platform) backgroundBid(rng *rand.Rand, u population.UserView) float64 {
 	ageFactor := 1.0
-	if u.Age < 65 {
-		ageFactor += p.cfg.CompetitionAgeSlope * float64(65-u.Age) / 47
+	if age := u.Age(); age < 65 {
+		ageFactor += p.cfg.CompetitionAgeSlope * float64(65-age) / 47
 	}
 	raceFactor := 1.0
-	if u.Race == demo.RaceWhite {
+	if u.Race() == demo.RaceWhite {
 		raceFactor += p.cfg.CompetitionWhitePremium
 	}
 	noise := math.Exp(0.45*rng.NormFloat64() - 0.10125)
@@ -413,12 +408,12 @@ func (p *Platform) backgroundBid(rng *rand.Rand, u *population.User) float64 {
 // home state, or — while traveling — usually some other state, occasionally
 // the other study state (the miscount risk §3.3 argues is negligible and
 // symmetric).
-func (p *Platform) deliveryRegion(rng *rand.Rand, u *population.User) demo.State {
-	if rng.Float64() >= u.TravelProb {
-		return u.State
+func (p *Platform) deliveryRegion(rng *rand.Rand, u population.UserView) demo.State {
+	if rng.Float64() >= u.TravelProb() {
+		return u.State()
 	}
 	if rng.Float64() < 0.1 {
-		if u.State == demo.StateFL {
+		if u.State() == demo.StateFL {
 			return demo.StateNC
 		}
 		return demo.StateFL

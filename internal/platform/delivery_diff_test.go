@@ -93,6 +93,10 @@ type diffCase struct {
 	specs   []diffAdSpec
 	runSeed int64
 	golden  string
+	// sharded holds per-worker-count golden digests captured from the
+	// sharded engine before the columnar population refactor, pinning the
+	// parallel paths byte-for-byte across representation changes.
+	sharded map[int]string
 }
 
 func diffCases() []diffCase {
@@ -111,6 +115,11 @@ func diffCases() []diffCase {
 			specs:   []diffAdSpec{{imgWM, 2_000_000}, {imgBM, 2_000_000}},
 			runSeed: 9001,
 			golden:  "bfab4b68f56278ae3d81c3b18c0fc06f6dc41658a212e7d85d1bc21317af4557",
+			sharded: map[int]string{
+				2: "2645fac0a84d0db98b1cea2ee261bd8fb8ab3b08cd33ceb93f0f56f9f897d31f",
+				4: "8788f405a671510acf6823d9c7157f0321d2596d149c50eba2ee049b4570cb59",
+				8: "18e644fb449ca983042cbb3295fbd7f1b537924d350471ca65805e08720bf01a",
+			},
 		},
 		{
 			name: "conversions_split_24ticks",
@@ -127,6 +136,11 @@ func diffCases() []diffCase {
 			specs:   []diffAdSpec{{imgWM, 1_500_000}, {imgBM, 1_500_000}, {imgBF, 2_000_000}},
 			runSeed: 9002,
 			golden:  "b35bc4589ba175aa3beaa852e19138add87d1f677f58f649d6cea66ba1fcc9b1",
+			sharded: map[int]string{
+				2: "371de01a25f6e4fe10d18924b2e5853d39a868fc342bdbc393208fd3dfc84f9f",
+				4: "b9c926bc437fb3cfc969ab7ab266980621c4f7bfb45dd41a4949c8d6f11358dc",
+				8: "b5e91ae3b517d5176daccc0786ade1e3462a07f955abc7b1ef2a7e8a12168234",
+			},
 		},
 		{
 			name: "awareness_noiseless_ties",
@@ -142,6 +156,11 @@ func diffCases() []diffCase {
 			specs:   []diffAdSpec{{imgWF, 30_000_000}, {imgBF, 30_000_000}, {imgWM, 20_000_000}, {imgBM, 20_000_000}},
 			runSeed: 9003,
 			golden:  "5d41bd178b88923945493808e66212c304839779775a029dfe7db5fb08097107",
+			sharded: map[int]string{
+				2: "4fb23637227ec9562e6b1541a96d3f4314c8b9544343ccb0174b96de063626dc",
+				4: "0768544c3f58d3a191dcb04c36e39a7ac1fda211fcf362698d045292802c9a3e",
+				8: "28b1c0226c7300ffd60ea2f72c02a06142f288aa16933aaca11aae65b3438f02",
+			},
 		},
 	}
 }
@@ -163,6 +182,33 @@ func TestDeliverySequentialMatchesGoldens(t *testing.T) {
 			}
 			if got := deliveryDigest(t, p, ids); got != tc.golden {
 				t.Errorf("workers=1 output diverged from the pre-change sequential golden:\n got %s\nwant %s", got, tc.golden)
+			}
+		})
+	}
+}
+
+// TestDeliveryShardedMatchesGoldens pins the parallel engine at workers
+// 2, 4, and 8 to digests captured before the columnar population refactor:
+// proof that moving the user store from structs to columns (and the audience
+// index from a sorted map to CSR) changed no RNG draw, auction outcome, or
+// accounting step on any shard.
+func TestDeliveryShardedMatchesGoldens(t *testing.T) {
+	f := sharedFixture(t)
+	for _, tc := range diffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := New(tc.cfg(), f.pop, f.behave)
+			if err != nil {
+				t.Fatal(err)
+			}
+			caID := tc.setup(t, p, f)
+			for _, workers := range []int{2, 4, 8} {
+				ids := createAdSet(t, p, tc.obj, caID, tc.specs)
+				if err := p.RunDayWorkers(ids, tc.runSeed, workers); err != nil {
+					t.Fatal(err)
+				}
+				if got := deliveryDigest(t, p, ids); got != tc.sharded[workers] {
+					t.Errorf("workers=%d output diverged from the pre-refactor golden:\n got %s\nwant %s", workers, got, tc.sharded[workers])
+				}
 			}
 		})
 	}

@@ -44,10 +44,10 @@ type daySession struct {
 	shard  int
 	shards int
 
-	active    []*Ad
-	adsByUser map[int][]*Ad
-	users     []int // this shard's slice of the global sorted user list
-	stats     map[string]*AdStats
+	active []*Ad
+	elig   *eligIndex
+	order  []int32 // this shard's row positions into elig
+	stats  map[string]*AdStats
 
 	seq  *seqDay        // shards == 1: the sequential oracle engine
 	sh   *deliveryShard // shards > 1: one shard of the parallel engine
@@ -85,36 +85,36 @@ func (p *Platform) BeginDaySession(session string, adIDs []string, seed int64, s
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	active, adsByUser, users, err := p.prepareDay(adIDs)
+	active, elig, err := p.prepareDay(adIDs)
 	if err != nil {
 		return nil, err
 	}
 	sess := &daySession{
-		name:      session,
-		seed:      seed,
-		shard:     shard,
-		shards:    shards,
-		active:    active,
-		adsByUser: adsByUser,
-		stats:     make(map[string]*AdStats, len(active)),
-		start:     p.deliveryClockNow(),
+		name:   session,
+		seed:   seed,
+		shard:  shard,
+		shards: shards,
+		active: active,
+		elig:   elig,
+		stats:  make(map[string]*AdStats, len(active)),
+		start:  p.deliveryClockNow(),
 	}
 	for _, ad := range active {
 		sess.stats[ad.ID] = p.newAdStats(ad.ID)
 	}
 	if shards == 1 {
-		sess.users = users
+		sess.order = elig.rowOrder()
 		sess.seq = newSeqDay(active, seed, sess.stats, func(userIdx int, ad *Ad, clicked bool) {
 			sess.served = append(sess.served, servedRow{userIdx: userIdx, ad: ad, clicked: clicked})
 		})
 	} else {
-		for i, idx := range users {
+		for i := 0; i < elig.rows(); i++ {
 			if i%shards == shard {
-				sess.users = append(sess.users, idx)
+				sess.order = append(sess.order, int32(i))
 			}
 		}
 		sess.sh = newDeliveryShard(seed, shard, len(active), p.cfg.Ticks)
-		sess.sh.users = sess.users
+		sess.sh.order = sess.order
 		sess.caps = make([]float64, len(active))
 	}
 	p.session = sess
@@ -179,13 +179,13 @@ func (p *Platform) DaySessionTick(session string, tick int, dirs []TickDirective
 
 	rep := &TickReport{Tick: tick, Spent: make([]float64, len(sess.active))}
 	if sess.shards == 1 {
-		rep.Auctions = p.seqTick(sess.seq, sess.adsByUser, sess.users, tick)
+		rep.Auctions = p.seqTick(sess.seq, sess.elig, sess.order, tick)
 		for i, ad := range sess.active {
 			rep.Spent[i] = ad.spent
 		}
 	} else {
 		before := sess.sh.auctions
-		p.shardTick(sess.sh, sess.adsByUser, tick, sess.caps)
+		p.shardTick(sess.sh, sess.active, sess.elig, tick, sess.caps)
 		rep.Auctions = sess.sh.auctions - before
 		for i, acc := range sess.sh.accs {
 			rep.Spent[i] = acc.tickSpent

@@ -100,11 +100,12 @@ type shardAcc struct {
 	frequency   map[int]int
 }
 
-// deliveryShard owns a disjoint slice of the audience, a private RNG stream
-// that persists across ticks, and per-ad accumulators.
+// deliveryShard owns a disjoint slice of the audience (as row positions into
+// the day's CSR eligibility index), a private RNG stream that persists across
+// ticks, and per-ad accumulators.
 type deliveryShard struct {
 	rng      *rand.Rand
-	users    []int
+	order    []int32     // row positions into the day's eligIndex
 	accs     []*shardAcc // indexed by Ad.runIdx
 	served   []servedRow // buffered rows, flushed at the tick barrier
 	auctions int64
@@ -114,18 +115,19 @@ type deliveryShard struct {
 // for the whole day, same as the sequential engine; parallelism lives
 // entirely inside this call. Returns the auction count and the total time
 // spent in barrier commits (zero unless an observer is installed).
-func (p *Platform) runDaySharded(active []*Ad, adsByUser map[int][]*Ad, users []int, seed int64, workers int) (int64, time.Duration) {
+func (p *Platform) runDaySharded(active []*Ad, elig *eligIndex, seed int64, workers int) (int64, time.Duration) {
 	ticks := p.cfg.Ticks
 	shards := make([]*deliveryShard, workers)
 	for s := range shards {
 		shards[s] = newDeliveryShard(seed, s, len(active), ticks)
 	}
-	// Round-robin partition of the sorted user list: deterministic, and it
-	// spreads every demographic stratum across shards instead of giving one
-	// shard a contiguous (correlated) block.
-	for i, idx := range users {
+	// Round-robin partition of the row positions (ascending population
+	// order, the old sorted user list): deterministic, and it spreads every
+	// demographic stratum across shards instead of giving one shard a
+	// contiguous (correlated) block.
+	for i := 0; i < elig.rows(); i++ {
 		sh := shards[i%workers]
-		sh.users = append(sh.users, idx)
+		sh.order = append(sh.order, int32(i))
 	}
 
 	var mergeTime time.Duration
@@ -144,9 +146,9 @@ func (p *Platform) runDaySharded(active []*Ad, adsByUser map[int][]*Ad, users []
 		}
 
 		// Phase 2: the parallel fan-out. Shards only read the shared state
-		// (ad bid fields frozen until the barrier, the population, the read-
-		// only adsByUser index) and write their own accumulators.
-		p.runShardTick(shards, adsByUser, tick, shardCaps)
+		// (ad bid fields frozen until the barrier, the population columns,
+		// the read-only CSR index) and write their own accumulators.
+		p.runShardTick(shards, active, elig, tick, shardCaps)
 
 		// Phase 3: barrier commit in fixed shard order.
 		var commitStart time.Time
@@ -187,31 +189,31 @@ func (p *Platform) runDaySharded(active []*Ad, adsByUser map[int][]*Ad, users []
 // of them. The WaitGroup wait is the tick barrier of the two-phase pacing
 // design: no shared mutation happens until every shard has parked, so the
 // commit phase that follows needs no locking at all.
-func (p *Platform) runShardTick(shards []*deliveryShard, adsByUser map[int][]*Ad, tick int, shardCaps []float64) {
+func (p *Platform) runShardTick(shards []*deliveryShard, active []*Ad, elig *eligIndex, tick int, shardCaps []float64) {
 	var wg sync.WaitGroup
 	for _, sh := range shards {
 		wg.Add(1)
 		go func(sh *deliveryShard) {
 			defer wg.Done()
-			p.shardTick(sh, adsByUser, tick, shardCaps)
+			p.shardTick(sh, active, elig, tick, shardCaps)
 		}(sh)
 	}
 	wg.Wait()
 }
 
-// shardTick runs one shard's slice of a tick: shuffle the shard's users
-// with the shard RNG, then run each user's sessions.
-func (p *Platform) shardTick(sh *deliveryShard, adsByUser map[int][]*Ad, tick int, shardCaps []float64) {
+// shardTick runs one shard's slice of a tick: shuffle the shard's row
+// positions with the shard RNG, then run each user's sessions.
+func (p *Platform) shardTick(sh *deliveryShard, active []*Ad, elig *eligIndex, tick int, shardCaps []float64) {
 	rng := sh.rng
-	users := sh.users
-	rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+	order := sh.order
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	ticks := float64(p.cfg.Ticks)
-	for _, idx := range users {
-		u := &p.pop.Users[idx]
-		sessions := poisson(rng, u.Activity/ticks)
+	for _, pos := range order {
+		u := p.pop.View(int(elig.users[pos]))
+		sessions := poisson(rng, u.Activity()/ticks)
 		sh.auctions += int64(sessions)
 		for s := 0; s < sessions; s++ {
-			p.shardAuction(sh, u, adsByUser[idx], tick, shardCaps)
+			p.shardAuction(sh, active, u, elig.adsFor(pos), tick, shardCaps)
 		}
 	}
 }
@@ -220,8 +222,9 @@ func (p *Platform) shardTick(sh *deliveryShard, adsByUser map[int][]*Ad, tick in
 // second-price, frequency-cap, and click semantics, but spend and stats
 // accrue into the shard's accumulators and the tick cap is the shard's
 // slice of it.
-func (p *Platform) shardAuction(sh *deliveryShard, u *population.User, eligible []*Ad, tick int, shardCaps []float64) {
+func (p *Platform) shardAuction(sh *deliveryShard, active []*Ad, u population.UserView, eligible []int32, tick int, shardCaps []float64) {
 	rng := sh.rng
+	uid := u.ID()
 	bg := p.backgroundBid(rng, u)
 	var winner *Ad
 	best, second := bg, 0.0
@@ -232,12 +235,12 @@ func (p *Platform) shardAuction(sh *deliveryShard, u *population.User, eligible 
 		off = rng.Intn(len(eligible))
 	}
 	for k := range eligible {
-		ad := eligible[(k+off)%len(eligible)]
+		ad := active[eligible[(k+off)%len(eligible)]]
 		acc := sh.accs[ad.runIdx]
 		if ad.pacing <= 0 || ad.spent >= float64(ad.DailyBudgetCents)/100 || acc.tickSpent >= shardCaps[ad.runIdx] {
 			continue
 		}
-		if p.cfg.FrequencyCap > 0 && acc.frequency[u.ID] >= p.cfg.FrequencyCap {
+		if p.cfg.FrequencyCap > 0 && acc.frequency[uid] >= p.cfg.FrequencyCap {
 			continue
 		}
 		value := ad.pacing*p.optimizationTerm(ad, u) + p.cfg.Quality
@@ -263,15 +266,15 @@ func (p *Platform) shardAuction(sh *deliveryShard, u *population.User, eligible 
 	acc.hourly[tick]++
 	acc.breakdown[BreakdownKey{
 		Age:    u.AgeBucket(),
-		Gender: u.Gender,
+		Gender: u.Gender(),
 		Region: p.deliveryRegion(rng, u),
 	}]++
-	acc.race[u.Race]++
-	acc.reached[u.ID] = struct{}{}
-	acc.frequency[u.ID]++
+	acc.race[u.Race()]++
+	acc.reached[uid] = struct{}{}
+	acc.frequency[uid]++
 	clicked := rng.Float64() < p.behave.ClickProb(u, winner.Creative.Image)
 	if clicked {
 		acc.clicks++
 	}
-	sh.served = append(sh.served, servedRow{userIdx: u.ID, ad: winner, clicked: clicked})
+	sh.served = append(sh.served, servedRow{userIdx: uid, ad: winner, clicked: clicked})
 }

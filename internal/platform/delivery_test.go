@@ -226,7 +226,7 @@ func TestDeliverySkewsOlderThanAudience(t *testing.T) {
 	}
 	var audienceOld int
 	for _, idx := range ca.members {
-		if f.pop.Users[idx].Age >= 45 {
+		if f.pop.View(idx).Age() >= 45 {
 			audienceOld++
 		}
 	}

@@ -65,23 +65,24 @@ func (l *featureLayout) names() []string {
 }
 
 // userBasis fills dst (len numUserFeatures) with the user-side features.
-func userBasis(u *population.User, dst []float64) {
-	a := float64(u.Age) / 80
+func userBasis(u population.UserView, dst []float64) {
+	age := u.Age()
+	a := float64(age) / 80
 	dst[0] = a
 	dst[1] = a * a
-	if u.Gender == demo.GenderFemale {
+	if u.Gender() == demo.GenderFemale {
 		dst[2] = 1
 	} else {
 		dst[2] = 0
 	}
-	if u.Race == demo.RaceBlack {
+	if u.Race() == demo.RaceBlack {
 		dst[3] = 1
 	} else {
 		dst[3] = 0
 	}
 	dst[4] = 0
-	if u.Gender == demo.GenderMale && u.Age > 55 {
-		dst[4] = float64(u.Age-55) / 25
+	if u.Gender() == demo.GenderMale && age > 55 {
+		dst[4] = float64(age-55) / 25
 	}
 }
 
@@ -103,7 +104,7 @@ func imageBasis(pc *perceivedCreative, dst []float64) {
 }
 
 // featurize writes the full design vector for a (user, creative) pair.
-func (l *featureLayout) featurize(u *population.User, pc *perceivedCreative, dst []float64) {
+func (l *featureLayout) featurize(u population.UserView, pc *perceivedCreative, dst []float64) {
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -120,7 +121,7 @@ func (l *featureLayout) featurize(u *population.User, pc *perceivedCreative, dst
 	}
 	if pc.HasPerson {
 		dst[l.hasPerson] = 1
-		dst[l.ageGap] = ageGap(u.Age, pc.AgeYears)
+		dst[l.ageGap] = ageGap(u.Age(), pc.AgeYears)
 	}
 	if pc.Job != "" {
 		for j, name := range l.jobNames {
@@ -204,7 +205,7 @@ func (m *earModel) fold(pc *perceivedCreative) foldedEAR {
 }
 
 // rate returns the estimated action rate for a user under the folded model.
-func (f *foldedEAR) rate(u *population.User) float64 {
+func (f *foldedEAR) rate(u population.UserView) float64 {
 	var ub [numUserFeatures]float64
 	userBasis(u, ub[:])
 	z := f.c0
@@ -212,7 +213,7 @@ func (f *foldedEAR) rate(u *population.User) float64 {
 		z += f.cu[k] * v
 	}
 	if f.hasPerson {
-		z += f.gapW * ageGap(u.Age, f.imgAge)
+		z += f.gapW * ageGap(u.Age(), f.imgAge)
 	}
 	return stats.Sigmoid(z)
 }
@@ -255,7 +256,7 @@ func fillEngagementLog(rng *rand.Rand, layout featureLayout, pop *population.Pop
 	profiles := demo.AllProfiles()
 	stock := image.DefaultStockOptions()
 	for i := 0; i < x.Rows; i++ {
-		u := &pop.Users[rng.Intn(len(pop.Users))]
+		u := pop.View(rng.Intn(pop.Len()))
 		var img image.Features
 		switch r := rng.Float64(); {
 		case r < 0.10:

@@ -38,35 +38,35 @@ func (p *Platform) CreateLookalikeAudience(name, seedID string, size int) (*Cust
 	// Seed ZIP distribution vs the whole user base.
 	seedZIP := map[string]float64{}
 	for _, idx := range seed.members {
-		seedZIP[p.pop.Users[idx].ZIP]++
+		seedZIP[p.pop.View(idx).ZIP()]++
 	}
 	baseZIP := map[string]float64{}
 	var seedActivity float64
-	for i := range p.pop.Users {
-		baseZIP[p.pop.Users[i].ZIP]++
+	for i := 0; i < p.pop.Len(); i++ {
+		baseZIP[p.pop.View(i).ZIP()]++
 	}
 	for _, idx := range seed.members {
-		seedActivity += p.pop.Users[idx].Activity
+		seedActivity += p.pop.View(idx).Activity()
 	}
 	seedActivity /= float64(len(seed.members))
 	seedN := float64(len(seed.members))
-	baseN := float64(len(p.pop.Users))
+	baseN := float64(p.pop.Len())
 
 	type cand struct {
 		idx   int
 		score float64
 	}
-	cands := make([]cand, 0, len(p.pop.Users))
-	for i := range p.pop.Users {
+	cands := make([]cand, 0, p.pop.Len())
+	for i := 0; i < p.pop.Len(); i++ {
 		if inSeed[i] {
 			continue
 		}
-		u := &p.pop.Users[i]
+		u := p.pop.View(i)
 		// Laplace-smoothed ZIP lift: log of how over-represented the
 		// user's ZIP is among seed accounts.
-		lift := math.Log(((seedZIP[u.ZIP] + 0.5) / (seedN + 1)) / ((baseZIP[u.ZIP] + 0.5) / (baseN + 1)))
+		lift := math.Log(((seedZIP[u.ZIP()] + 0.5) / (seedN + 1)) / ((baseZIP[u.ZIP()] + 0.5) / (baseN + 1)))
 		// Activity proximity, a weak secondary signal.
-		act := -math.Abs(u.Activity-seedActivity) / (seedActivity + 1)
+		act := -math.Abs(u.Activity()-seedActivity) / (seedActivity + 1)
 		cands = append(cands, cand{idx: i, score: lift + 0.2*act})
 	}
 	if len(cands) == 0 {
@@ -119,14 +119,14 @@ func (p *Platform) CompositionOf(audienceID string) (AudienceComposition, error)
 	}
 	var black, female, older int
 	for _, idx := range ca.members {
-		u := &p.pop.Users[idx]
-		if u.Race == demo.RaceBlack {
+		u := p.pop.View(idx)
+		if u.Race() == demo.RaceBlack {
 			black++
 		}
-		if u.Gender == demo.GenderFemale {
+		if u.Gender() == demo.GenderFemale {
 			female++
 		}
-		if u.Age >= 45 {
+		if u.Age() >= 45 {
 			older++
 		}
 	}

@@ -31,8 +31,8 @@ func TestCreateLookalikeAudienceErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if big.Size == 0 || big.Size >= len(f.pop.Users) {
-		t.Errorf("truncated size %d vs population %d", big.Size, len(f.pop.Users))
+	if big.Size == 0 || big.Size >= f.pop.Len() {
+		t.Errorf("truncated size %d vs population %d", big.Size, f.pop.Len())
 	}
 }
 
@@ -72,12 +72,12 @@ func TestLookalikeExcludesSeedAndEnriches(t *testing.T) {
 		t.Fatalf("seed composition %v, setup broken", base.FracBlack)
 	}
 	var popBlack int
-	for i := range f.pop.Users {
-		if f.pop.Users[i].Race == demo.RaceBlack {
+	for i := 0; i < f.pop.Len(); i++ {
+		if f.pop.View(i).Race() == demo.RaceBlack {
 			popBlack++
 		}
 	}
-	popRate := float64(popBlack) / float64(len(f.pop.Users))
+	popRate := float64(popBlack) / float64(f.pop.Len())
 	if comp.FracBlack < popRate+0.08 {
 		t.Errorf("expansion %.3f Black vs population %.3f; want clear enrichment", comp.FracBlack, popRate)
 	}
@@ -92,7 +92,7 @@ func TestCompositionOfErrors(t *testing.T) {
 
 func TestObjectiveOptimizationTerm(t *testing.T) {
 	p, f := newTestPlatform(t, 913)
-	u := &f.pop.Users[0]
+	u := f.pop.View(0)
 	img := p.perceive(imageOfAdult())
 	folded := p.ear.fold(&img)
 	awareness := &Ad{Objective: ObjectiveAwareness, folded: folded}
@@ -111,15 +111,15 @@ func TestObjectiveOptimizationTerm(t *testing.T) {
 	}
 	// The conversions transform is monotone in eAR: a user with higher
 	// traffic term must keep a higher conversions term.
-	var hi *population.User
-	for i := range f.pop.Users {
-		cand := &f.pop.Users[i]
+	hi, found := population.UserView{}, false
+	for i := 0; i < f.pop.Len(); i++ {
+		cand := f.pop.View(i)
 		if p.optimizationTerm(traffic, cand) > tr {
-			hi = cand
+			hi, found = cand, true
 			break
 		}
 	}
-	if hi != nil && p.optimizationTerm(conversions, hi) <= cv {
+	if found && p.optimizationTerm(conversions, hi) <= cv {
 		t.Error("conversions transform not monotone in eAR")
 	}
 }

@@ -132,7 +132,7 @@ type Platform struct {
 // New builds a platform over a user population: it trains the platform's
 // content classifier, generates engagement logs, and fits the eAR model.
 func New(cfg Config, pop *population.Population, behave *population.Behavior) (*Platform, error) {
-	if pop == nil || len(pop.Users) == 0 {
+	if pop == nil || pop.Len() == 0 {
 		return nil, fmt.Errorf("platform: empty population")
 	}
 	if behave == nil {

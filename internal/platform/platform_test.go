@@ -287,7 +287,7 @@ func TestFoldedEARMatchesFullModel(t *testing.T) {
 		}
 		pc := p.perceive(img)
 		folded := p.ear.fold(&pc)
-		u := &f.pop.Users[rng.Intn(len(f.pop.Users))]
+		u := f.pop.View(rng.Intn(f.pop.Len()))
 		x := make([]float64, p.ear.layout.dim)
 		p.ear.layout.featurize(u, &pc, x)
 		want := p.ear.fit.Predict(x)
@@ -308,9 +308,9 @@ func TestEARLearnsHomophily(t *testing.T) {
 	// higher action rates for congruent pairings.
 	var bOnB, bOnW, wOnB, wOnW float64
 	var nb, nw int
-	for i := range f.pop.Users {
-		u := &f.pop.Users[i]
-		switch u.Race {
+	for i := 0; i < f.pop.Len(); i++ {
+		u := f.pop.View(i)
+		switch u.Race() {
 		case demo.RaceBlack:
 			bOnB += fb.rate(u)
 			bOnW += fw.rate(u)

@@ -61,7 +61,7 @@ func (p *Platform) Retrain(cfg TrainingConfig) error {
 	copy(y, base.y)
 	for i := range p.served {
 		row := &p.served[i]
-		layout.featurize(&p.pop.Users[row.userIdx], &row.ad.perceived, x.Row(base.x.Rows+i))
+		layout.featurize(p.pop.View(row.userIdx), &row.ad.perceived, x.Row(base.x.Rows+i))
 		if row.clicked {
 			y[base.x.Rows+i] = 1
 		}

@@ -164,7 +164,7 @@ func (p *Platform) emit(m Mutation) {
 // NumUsers reports the size of the user population, the cheap world
 // fingerprint snapshots carry to catch recovery against a mismatched seed.
 func (p *Platform) NumUsers() int {
-	return len(p.pop.Users)
+	return p.pop.Len()
 }
 
 // State captures the full durable account state as a deep copy with
@@ -303,9 +303,9 @@ func (p *Platform) ApplyMutation(m *Mutation) error {
 // caller holds p.mu.
 func (p *Platform) applyAudienceLocked(as *AudienceState) error {
 	for _, idx := range as.Members {
-		if idx < 0 || idx >= len(p.pop.Users) {
+		if idx < 0 || idx >= p.pop.Len() {
 			return fmt.Errorf("platform: audience %s member index %d outside population of %d (world seed mismatch?)",
-				as.ID, idx, len(p.pop.Users))
+				as.ID, idx, p.pop.Len())
 		}
 	}
 	p.audiences[as.ID] = &CustomAudience{
@@ -322,9 +322,9 @@ func (p *Platform) applyAudienceLocked(as *AudienceState) error {
 // current models; the caller holds p.mu.
 func (p *Platform) applyAdLocked(as *AdState) error {
 	for _, idx := range as.Audience {
-		if idx < 0 || idx >= len(p.pop.Users) {
+		if idx < 0 || idx >= p.pop.Len() {
 			return fmt.Errorf("platform: ad %s audience index %d outside population of %d (world seed mismatch?)",
-				as.ID, idx, len(p.pop.Users))
+				as.ID, idx, p.pop.Len())
 		}
 	}
 	ad := &Ad{

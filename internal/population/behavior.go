@@ -67,24 +67,28 @@ func NewBehavior(cfg BehaviorConfig) (*Behavior, error) {
 	return &Behavior{cfg: cfg}, nil
 }
 
-// ClickProb returns P(user clicks | shown the creative).
-func (b *Behavior) ClickProb(u *User, img image.Features) float64 {
+// ClickProb returns P(user clicks | shown the creative). It reads the user
+// through the columnar view and never allocates — it sits inside every
+// auction of the delivery hot loop.
+func (b *Behavior) ClickProb(u UserView, img image.Features) float64 {
 	c := &b.cfg
 	z := math.Log(c.BaseCTR / (1 - c.BaseCTR))
 	if !img.HasPerson {
 		return stats.Sigmoid(z)
 	}
 	s := c.AffinityScale
+	gender := u.Gender()
+	age := u.Age()
 
 	// Race homophily: raceAxis > 0 is Black presentation; raceSign(u) is +1
 	// for Black users, -1 for white. Aligned signs raise engagement.
-	z += s * c.RaceHomophily * img.RaceAxis * raceSign(u.Race) * 0.5
+	z += s * c.RaceHomophily * img.RaceAxis * raceSign(u.Race()) * 0.5
 
 	// Weak gender homophily.
-	z += s * c.GenderAffinity * img.GenderAxis * genderSign(u.Gender) * 0.5
+	z += s * c.GenderAffinity * img.GenderAxis * genderSign(gender) * 0.5
 
 	// Age proximity: engagement decays with |user age - pictured age|.
-	ageDist := math.Abs(float64(u.Age)-img.AgeYears) / 60
+	ageDist := math.Abs(float64(age)-img.AgeYears) / 60
 	if ageDist > 1 {
 		ageDist = 1
 	}
@@ -93,19 +97,19 @@ func (b *Behavior) ClickProb(u *User, img image.Features) float64 {
 	// Women (increasingly with age) engage with images of children. The
 	// age gradient must outrun the age-proximity penalty so that older
 	// women show the strongest child-image engagement (Figure 3C).
-	if u.Gender == demo.GenderFemale {
-		z += s * c.ChildToWomen * childness(img) * (0.35 + float64(u.Age)/70)
+	if gender == demo.GenderFemale {
+		z += s * c.ChildToWomen * childness(img) * (0.35 + float64(age)/70)
 	}
 
 	// Men 55+ engage with images of young women.
-	if u.Gender == demo.GenderMale && u.Age >= 55 {
+	if gender == demo.GenderMale && age >= 55 {
 		z += s * c.YoungWomenToOlderMen * youngWomanness(img)
 	}
 
 	// Job ads: engagement tracks the advertised industry's workforce
 	// composition for the user's demographic.
 	if img.Job != "" {
-		z += s * c.JobComposition * JobAffinity(img.Job, u.Gender, u.Race)
+		z += s * c.JobComposition * JobAffinity(img.Job, gender, u.Race())
 	}
 	return stats.Sigmoid(z)
 }

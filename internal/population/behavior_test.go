@@ -18,6 +18,11 @@ func testBehavior(t *testing.T) *Behavior {
 
 func imgOf(p demo.Profile) image.Features { return image.FromProfile(p) }
 
+// mkUser builds a standalone columnar view for behaviour-model tests.
+func mkUser(age int, g demo.Gender, r demo.Race) UserView {
+	return MakeView(demo.StateFL, "33101", age, g, r, 1)
+}
+
 func TestNewBehaviorValidation(t *testing.T) {
 	cfg := DefaultBehaviorConfig()
 	cfg.BaseCTR = 0
@@ -33,14 +38,14 @@ func TestNewBehaviorValidation(t *testing.T) {
 
 func TestClickProbBounds(t *testing.T) {
 	b := testBehavior(t)
-	users := []User{
-		{Age: 20, Gender: demo.GenderFemale, Race: demo.RaceBlack},
-		{Age: 70, Gender: demo.GenderMale, Race: demo.RaceWhite},
+	users := []UserView{
+		mkUser(20, demo.GenderFemale, demo.RaceBlack),
+		mkUser(70, demo.GenderMale, demo.RaceWhite),
 	}
 	for _, p := range demo.AllProfiles() {
 		img := imgOf(p)
 		for i := range users {
-			pr := b.ClickProb(&users[i], img)
+			pr := b.ClickProb(users[i], img)
 			if pr <= 0 || pr >= 1 {
 				t.Fatalf("ClickProb out of range: %v", pr)
 			}
@@ -50,52 +55,52 @@ func TestClickProbBounds(t *testing.T) {
 
 func TestRaceHomophily(t *testing.T) {
 	b := testBehavior(t)
-	blackUser := User{Age: 30, Gender: demo.GenderMale, Race: demo.RaceBlack}
-	whiteUser := User{Age: 30, Gender: demo.GenderMale, Race: demo.RaceWhite}
+	blackUser := mkUser(30, demo.GenderMale, demo.RaceBlack)
+	whiteUser := mkUser(30, demo.GenderMale, demo.RaceWhite)
 	blackImg := imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceBlack, Age: demo.ImpliedAdult})
 	whiteImg := imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedAdult})
-	if b.ClickProb(&blackUser, blackImg) <= b.ClickProb(&blackUser, whiteImg) {
+	if b.ClickProb(blackUser, blackImg) <= b.ClickProb(blackUser, whiteImg) {
 		t.Error("Black user should engage more with Black-presenting image")
 	}
-	if b.ClickProb(&whiteUser, whiteImg) <= b.ClickProb(&whiteUser, blackImg) {
+	if b.ClickProb(whiteUser, whiteImg) <= b.ClickProb(whiteUser, blackImg) {
 		t.Error("white user should engage more with white-presenting image")
 	}
 }
 
 func TestChildImagesEngageWomen(t *testing.T) {
 	b := testBehavior(t)
-	woman := User{Age: 45, Gender: demo.GenderFemale, Race: demo.RaceWhite}
-	man := User{Age: 45, Gender: demo.GenderMale, Race: demo.RaceWhite}
+	woman := mkUser(45, demo.GenderFemale, demo.RaceWhite)
+	man := mkUser(45, demo.GenderMale, demo.RaceWhite)
 	child := imgOf(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceWhite, Age: demo.ImpliedChild})
 	adult := imgOf(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceWhite, Age: demo.ImpliedAdult})
-	womanLift := b.ClickProb(&woman, child) / b.ClickProb(&woman, adult)
-	manLift := b.ClickProb(&man, child) / b.ClickProb(&man, adult)
+	womanLift := b.ClickProb(woman, child) / b.ClickProb(woman, adult)
+	manLift := b.ClickProb(man, child) / b.ClickProb(man, adult)
 	if womanLift <= manLift {
 		t.Errorf("child-image lift: woman %v <= man %v", womanLift, manLift)
 	}
 	// The effect strengthens with the woman's age (Figure 3C: older women
 	// see more images of children).
-	older := User{Age: 65, Gender: demo.GenderFemale, Race: demo.RaceWhite}
-	youngW := User{Age: 25, Gender: demo.GenderFemale, Race: demo.RaceWhite}
-	if b.ClickProb(&older, child)/b.ClickProb(&older, adult) <= b.ClickProb(&youngW, child)/b.ClickProb(&youngW, adult) {
+	older := mkUser(65, demo.GenderFemale, demo.RaceWhite)
+	youngW := mkUser(25, demo.GenderFemale, demo.RaceWhite)
+	if b.ClickProb(older, child)/b.ClickProb(older, adult) <= b.ClickProb(youngW, child)/b.ClickProb(youngW, adult) {
 		t.Error("child-image lift should grow with the woman's age")
 	}
 }
 
 func TestYoungWomenImagesEngageOlderMen(t *testing.T) {
 	b := testBehavior(t)
-	olderMan := User{Age: 60, Gender: demo.GenderMale, Race: demo.RaceWhite}
-	youngerMan := User{Age: 30, Gender: demo.GenderMale, Race: demo.RaceWhite}
+	olderMan := mkUser(60, demo.GenderMale, demo.RaceWhite)
+	youngerMan := mkUser(30, demo.GenderMale, demo.RaceWhite)
 	teenWoman := imgOf(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceWhite, Age: demo.ImpliedTeen})
 	teenMan := imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedTeen})
 	// Older men: teen-woman image beats teen-man image by more than the age
 	// proximity penalty difference.
-	lift := b.ClickProb(&olderMan, teenWoman) / b.ClickProb(&olderMan, teenMan)
+	lift := b.ClickProb(olderMan, teenWoman) / b.ClickProb(olderMan, teenMan)
 	if lift <= 1.5 {
 		t.Errorf("older-man teen-woman lift %v, want > 1.5", lift)
 	}
 	// The effect is specific to men 55+.
-	youngLift := b.ClickProb(&youngerMan, teenWoman) / b.ClickProb(&youngerMan, teenMan)
+	youngLift := b.ClickProb(youngerMan, teenWoman) / b.ClickProb(youngerMan, teenMan)
 	if lift <= youngLift {
 		t.Errorf("lift should concentrate in older men: %v <= %v", lift, youngLift)
 	}
@@ -103,10 +108,10 @@ func TestYoungWomenImagesEngageOlderMen(t *testing.T) {
 
 func TestAgeProximity(t *testing.T) {
 	b := testBehavior(t)
-	young := User{Age: 22, Gender: demo.GenderMale, Race: demo.RaceWhite}
+	young := mkUser(22, demo.GenderMale, demo.RaceWhite)
 	adultImg := imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedAdult})
 	elderlyImg := imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedElderly})
-	if b.ClickProb(&young, adultImg) <= b.ClickProb(&young, elderlyImg) {
+	if b.ClickProb(young, adultImg) <= b.ClickProb(young, elderlyImg) {
 		t.Error("young user should engage more with age-proximate image")
 	}
 }
@@ -118,9 +123,9 @@ func TestAffinityScaleZeroRemovesContentEffects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u := User{Age: 30, Gender: demo.GenderFemale, Race: demo.RaceBlack}
-	p1 := b.ClickProb(&u, imgOf(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceBlack, Age: demo.ImpliedChild}))
-	p2 := b.ClickProb(&u, imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedElderly}))
+	u := mkUser(30, demo.GenderFemale, demo.RaceBlack)
+	p1 := b.ClickProb(u, imgOf(demo.Profile{Gender: demo.GenderFemale, Race: demo.RaceBlack, Age: demo.ImpliedChild}))
+	p2 := b.ClickProb(u, imgOf(demo.Profile{Gender: demo.GenderMale, Race: demo.RaceWhite, Age: demo.ImpliedElderly}))
 	if p1 != p2 {
 		t.Errorf("scale 0 should make content irrelevant: %v vs %v", p1, p2)
 	}
@@ -128,8 +133,8 @@ func TestAffinityScaleZeroRemovesContentEffects(t *testing.T) {
 
 func TestNoPersonImageUsesBaseRate(t *testing.T) {
 	b := testBehavior(t)
-	u := User{Age: 30, Gender: demo.GenderFemale, Race: demo.RaceBlack}
-	p := b.ClickProb(&u, image.Features{})
+	u := mkUser(30, demo.GenderFemale, demo.RaceBlack)
+	p := b.ClickProb(u, image.Features{})
 	if diff := p - DefaultBehaviorConfig().BaseCTR; diff > 1e-12 || diff < -1e-12 {
 		t.Errorf("no-person image prob %v, want base rate", p)
 	}
@@ -164,18 +169,18 @@ func TestKnownJobCoversImageJobTypes(t *testing.T) {
 
 func TestJobAdsShiftEngagement(t *testing.T) {
 	b := testBehavior(t)
-	whiteMan := User{Age: 35, Gender: demo.GenderMale, Race: demo.RaceWhite}
-	blackWoman := User{Age: 35, Gender: demo.GenderFemale, Race: demo.RaceBlack}
+	whiteMan := mkUser(35, demo.GenderMale, demo.RaceWhite)
+	blackWoman := mkUser(35, demo.GenderFemale, demo.RaceBlack)
 	// Neutral face so the job-composition effect is isolated from homophily.
 	face := image.Features{HasPerson: true, AgeYears: 30}
 	lumber := face
 	lumber.Job = "lumber"
 	janitor := face
 	janitor.Job = "janitor"
-	if b.ClickProb(&whiteMan, lumber) <= b.ClickProb(&blackWoman, lumber) {
+	if b.ClickProb(whiteMan, lumber) <= b.ClickProb(blackWoman, lumber) {
 		t.Error("lumber ad should engage white men more")
 	}
-	if b.ClickProb(&blackWoman, janitor) <= b.ClickProb(&whiteMan, janitor) {
+	if b.ClickProb(blackWoman, janitor) <= b.ClickProb(whiteMan, janitor) {
 		t.Error("janitor ad should engage Black women more")
 	}
 }

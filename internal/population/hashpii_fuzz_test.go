@@ -1,0 +1,40 @@
+package population
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// FuzzHashPII pins the agreement between the two independent PII hashing
+// implementations: HashPII (the advertiser upload side — strings.ToLower,
+// strings.TrimSpace, string concatenation) and hashPIIRaw (the account-side
+// streaming normalizer the columnar builder uses, which lowercases rune by
+// rune into a reused scratch buffer). If they ever disagree on any input —
+// unicode case pairs, interior whitespace, empty fields, invalid UTF-8 —
+// Custom Audience matching silently breaks, so the property is fuzzed, not
+// just spot-checked.
+func FuzzHashPII(f *testing.F) {
+	f.Add("John", "Smith", "1 Oak St", "33101")
+	f.Add(" john ", "SMITH", "1  oak  st", "33101")    // interior whitespace preserved
+	f.Add("", "", "", "")                              // all empty
+	f.Add("Åsa", "Öberg", "Ünter den Linden", "27000") // non-ASCII case folding
+	f.Add("ΣΟΦΙΑ", "ΠΑΠΑΣ", "ΟΔΟΣ 1", "32001")         // Greek final sigma
+	f.Add("İstanbul", "IŞIK", "yol", "32002")          // dotted capital I
+	f.Add("a\tb", "c\nd", "e f", "g h")                // exotic whitespace
+	f.Add("\xff\xfe", "ok", "\x80", "33")              // invalid UTF-8
+	f.Add("ＦＵＬＬＷＩＤＴＨ", "ｎａｍｅ", "１２３", "34000")         // fullwidth forms
+	f.Fuzz(func(t *testing.T, first, last, address, zip string) {
+		want := HashPII(first, last, address, zip)
+		raw, _ := hashPIIRaw(first, last, address, zip, nil)
+		if got := hex.EncodeToString(raw[:]); got != want {
+			t.Fatalf("account-side hash diverged from upload-side:\n got %s\nwant %s\ninput %q %q %q %q",
+				got, want, first, last, address, zip)
+		}
+		// Scratch reuse must not change the digest.
+		scratch := make([]byte, 0, 4)
+		again, _ := hashPIIRaw(first, last, address, zip, scratch)
+		if again != raw {
+			t.Fatal("hashPIIRaw not deterministic under scratch reuse")
+		}
+	})
+}

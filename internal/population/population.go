@@ -7,6 +7,12 @@
 // engagement behaviour that the platform's machine-learned delivery
 // optimization is trained on (package platform).
 //
+// The user store is columnar (see Columns): parallel attribute slices
+// indexed by dense user ID, read through the UserView accessor. The layout
+// is what lets a multi-million-user world fit in memory; the differential
+// suite in legacy_oracle_test.go pins it byte-identical to the struct-based
+// builder it replaced.
+//
 // The behaviour model is where documented population-level engagement
 // patterns enter the simulation — homophily, women's higher engagement with
 // child imagery, older men's engagement with images of young women, and
@@ -22,41 +28,52 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
+	"unicode"
+	"unicode/utf8"
 
 	"github.com/adaudit/impliedidentity/internal/demo"
 	"github.com/adaudit/impliedidentity/internal/voter"
 )
 
-// User is one platform account.
-type User struct {
-	ID     int
-	State  demo.State
-	ZIP    string
-	Age    int
-	Gender demo.Gender
-	Race   demo.Race
-	// Activity is the user's expected browsing sessions per simulated day;
-	// each session offers one ad slot.
-	Activity float64
-	// PIIKey is the hash of the user's registration PII, the join key for
-	// Custom Audience matching.
-	PIIKey string
-	// TravelProb is the per-impression probability the user is currently
-	// outside their home state (the <1% leakage §3.3 measures).
-	TravelProb float64
-}
-
-// AgeBucket returns the user's Facebook reporting bucket.
-func (u *User) AgeBucket() demo.AgeBucket { return demo.BucketForAge(u.Age) }
-
 // HashPII computes the normalized PII hash used to match uploaded audience
-// lists to accounts: lowercase, trimmed, SHA-256 over name|address|zip. Both
-// the advertiser-side upload path and the platform-side account records use
-// this function, as with real PII-matching pipelines.
+// lists to accounts: lowercase, trimmed, SHA-256 over name|address|zip,
+// hex-encoded. This is the advertiser-side upload path, exactly as real
+// PII-matching pipelines hash client-side before transmission.
+//
+// The platform-side account records store the same digest in raw form,
+// computed by hashPIIRaw on an allocation-free path; FuzzHashPII pins the
+// two implementations to agree on arbitrary input.
 func HashPII(first, last, address, zip string) string {
 	norm := func(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
 	h := sha256.Sum256([]byte(norm(first) + "|" + norm(last) + "|" + norm(address) + "|" + norm(zip)))
 	return hex.EncodeToString(h[:])
+}
+
+// appendNormalized appends lowercase(trimmed(s)) to buf rune by rune,
+// without allocating. Per-rune unicode.ToLower over a range loop matches
+// strings.ToLower byte for byte, including the U+FFFD replacement of
+// invalid UTF-8.
+func appendNormalized(buf []byte, s string) []byte {
+	for _, r := range strings.TrimSpace(s) {
+		buf = utf8.AppendRune(buf, unicode.ToLower(r))
+	}
+	return buf
+}
+
+// hashPIIRaw is the account-side PII hash: the same normalization contract
+// as HashPII, producing the raw 32-byte digest the pii column stores. It
+// reuses scratch for the normalized bytes and returns it for the next call.
+func hashPIIRaw(first, last, address, zip string, scratch []byte) ([32]byte, []byte) {
+	buf := scratch[:0]
+	buf = appendNormalized(buf, first)
+	buf = append(buf, '|')
+	buf = appendNormalized(buf, last)
+	buf = append(buf, '|')
+	buf = appendNormalized(buf, address)
+	buf = append(buf, '|')
+	buf = appendNormalized(buf, zip)
+	return sha256.Sum256(buf), buf
 }
 
 // Config controls population construction.
@@ -94,18 +111,77 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// Population is the set of platform users, indexed for Custom Audience
-// matching.
+// Population is the set of platform users in columnar form, indexed on
+// demand for Custom Audience matching.
 type Population struct {
-	Users []User
-	byPII map[string]int // PIIKey -> index into Users
+	cols Columns
+
+	// mu guards index. The PII index is pure acceleration over the pii
+	// column: the builder drops its dup-detection table when construction
+	// finishes (steady state then pays only for the columns), and the first
+	// LookupPII — including the first after a platform Restore onto a
+	// freshly rebuilt world — rebuilds it here.
+	mu    sync.Mutex
+	index *piiIndex
 }
+
+// Len returns the number of users.
+func (p *Population) Len() int { return p.cols.n }
+
+// View returns the accessor for user i. Views are values; creating one does
+// not allocate.
+func (p *Population) View(i int) UserView { return UserView{c: &p.cols, i: int32(i)} }
+
+// MemoryBytes reports the retained storage of the columns plus the PII
+// index if it has been built — the quantity the bytes-per-user budget and
+// BENCH_population measure.
+func (p *Population) MemoryBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.cols.bytes()
+	if p.index != nil {
+		b += p.index.bytes()
+	}
+	return b
+}
+
+// LookupPII returns the user with the given hex PII hash. The first call
+// (re)builds the PII index from the pii column.
+func (p *Population) LookupPII(key string) (UserView, bool) {
+	var k [32]byte
+	if len(key) != 64 {
+		return UserView{}, false
+	}
+	if _, err := hex.Decode(k[:], []byte(key)); err != nil {
+		return UserView{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.index == nil {
+		p.index = newPIIIndex(p.cols.n)
+		for i := 0; i < p.cols.n; i++ {
+			p.index.insert(&p.cols.pii[i], int32(i), p.keyAt)
+		}
+	}
+	id := p.index.lookup(&k, p.keyAt)
+	if id < 0 {
+		return UserView{}, false
+	}
+	return UserView{c: &p.cols, i: id}, true
+}
+
+// keyAt resolves a user ID to its stored PII digest; the caller holds p.mu.
+func (p *Population) keyAt(id int32) *[32]byte { return &p.cols.pii[id] }
 
 // Build derives users from one or more voter registries. Match rates and
 // activity vary by demographic: younger voters are more likely to have an
 // account, while accounts held by older users show somewhat higher daily
 // activity — two of the mundane asymmetries that make the paper refuse to
 // expect 50/50 delivery even for balanced targeting (§5.2, footnote 5).
+//
+// Build consumes one RNG draw sequence per accepted-or-rejected record in
+// registry order; the legacy-oracle differential suite pins every produced
+// field to the struct-era builder's output.
 func Build(cfg Config, registries ...*voter.Registry) (*Population, error) {
 	cfg.setDefaults()
 	if len(registries) == 0 {
@@ -114,53 +190,19 @@ func Build(cfg Config, registries ...*voter.Registry) (*Population, error) {
 	if cfg.BaseMatchRate <= 0 || cfg.BaseMatchRate > 1 {
 		return nil, fmt.Errorf("population: BaseMatchRate %v outside (0,1]", cfg.BaseMatchRate)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	p := &Population{byPII: map[string]int{}}
-	id := 0
+	voters := 0
+	for _, reg := range registries {
+		voters += len(reg.Records)
+	}
+	b := newBuilder(cfg, voters, 0)
 	for _, reg := range registries {
 		for i := range reg.Records {
-			rec := &reg.Records[i]
-			if rng.Float64() > cfg.BaseMatchRate*matchRateFactor(rec) {
-				continue
+			if err := b.consume(&reg.Records[i]); err != nil {
+				return nil, err
 			}
-			activity := cfg.MeanSessions * activityFactor(rec) * lognormalish(rng)
-			if rec.State == demo.StateFL {
-				activity *= cfg.FLActivityBoost
-			}
-			u := User{
-				ID:         id,
-				State:      rec.State,
-				ZIP:        rec.ZIP,
-				Age:        rec.Age(),
-				Gender:     rec.Gender,
-				Race:       rec.Race,
-				Activity:   activity,
-				PIIKey:     HashPII(rec.FirstName, rec.LastName, rec.Address, rec.ZIP),
-				TravelProb: cfg.TravelProb,
-			}
-			if _, dup := p.byPII[u.PIIKey]; dup {
-				// PII collision (same name+address): the platform would
-				// merge or reject; we keep the first account.
-				continue
-			}
-			p.byPII[u.PIIKey] = id
-			p.Users = append(p.Users, u)
-			id++
 		}
 	}
-	if len(p.Users) == 0 {
-		return nil, fmt.Errorf("population: no users matched")
-	}
-	return p, nil
-}
-
-// LookupPII returns the user with the given PII hash.
-func (p *Population) LookupPII(key string) (*User, bool) {
-	i, ok := p.byPII[key]
-	if !ok {
-		return nil, false
-	}
-	return &p.Users[i], true
+	return b.finish()
 }
 
 // matchRateFactor adjusts account-match probability by demographic: account

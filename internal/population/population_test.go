@@ -1,6 +1,8 @@
 package population
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -41,21 +43,24 @@ func TestBuildMatchesSubsetOfVoters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pop.Users) == 0 || len(pop.Users) >= 10000 {
-		t.Fatalf("population size %d", len(pop.Users))
+	if pop.Len() == 0 || pop.Len() >= 10000 {
+		t.Fatalf("population size %d", pop.Len())
 	}
 	// Roughly the base match rate should survive.
-	frac := float64(len(pop.Users)) / 10000
+	frac := float64(pop.Len()) / 10000
 	if frac < 0.45 || frac > 0.85 {
 		t.Errorf("match fraction %v", frac)
 	}
-	for i := range pop.Users {
-		u := &pop.Users[i]
-		if u.Activity <= 0 {
-			t.Fatalf("user %d activity %v", u.ID, u.Activity)
+	for i := 0; i < pop.Len(); i++ {
+		u := pop.View(i)
+		if u.ID() != i {
+			t.Fatalf("user %d reports ID %d", i, u.ID())
 		}
-		if u.PIIKey == "" {
-			t.Fatalf("user %d missing PII key", u.ID)
+		if u.Activity() <= 0 {
+			t.Fatalf("user %d activity %v", i, u.Activity())
+		}
+		if len(u.PIIKey()) != 64 {
+			t.Fatalf("user %d PII key %q", i, u.PIIKey())
 		}
 	}
 }
@@ -73,13 +78,13 @@ func TestBuildLookupPII(t *testing.T) {
 		key := HashPII(r.FirstName, r.LastName, r.Address, r.ZIP)
 		if u, ok := pop.LookupPII(key); ok {
 			found++
-			if u.State != demo.StateFL {
-				t.Errorf("matched user in wrong state %v", u.State)
+			if u.State() != demo.StateFL {
+				t.Errorf("matched user in wrong state %v", u.State())
 			}
 		}
 	}
-	if found != len(pop.Users) {
-		t.Errorf("found %d voters matching, population has %d", found, len(pop.Users))
+	if found != pop.Len() {
+		t.Errorf("found %d voters matching, population has %d", found, pop.Len())
 	}
 	if _, ok := pop.LookupPII("nope"); ok {
 		t.Error("bogus key should not match")
@@ -97,8 +102,8 @@ func TestBuildMatchRateDeclinesWithAge(t *testing.T) {
 		voterCount[fl.Records[i].AgeBucket()]++
 	}
 	userCount := map[demo.AgeBucket]int{}
-	for i := range pop.Users {
-		userCount[pop.Users[i].AgeBucket()]++
+	for i := 0; i < pop.Len(); i++ {
+		userCount[pop.View(i).AgeBucket()]++
 	}
 	young := float64(userCount[demo.Age18to24]) / float64(voterCount[demo.Age18to24])
 	old := float64(userCount[demo.Age65Plus]) / float64(voterCount[demo.Age65Plus])
@@ -115,14 +120,14 @@ func TestBuildActivityRisesWithAge(t *testing.T) {
 	}
 	var youngSum, oldSum float64
 	var youngN, oldN int
-	for i := range pop.Users {
-		u := &pop.Users[i]
+	for i := 0; i < pop.Len(); i++ {
+		u := pop.View(i)
 		switch u.AgeBucket() {
 		case demo.Age18to24:
-			youngSum += u.Activity
+			youngSum += u.Activity()
 			youngN++
 		case demo.Age65Plus:
-			oldSum += u.Activity
+			oldSum += u.Activity()
 			oldN++
 		}
 	}
@@ -151,14 +156,22 @@ func TestBuildDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a.Users) != len(b.Users) {
-		t.Fatalf("sizes differ: %d vs %d", len(a.Users), len(b.Users))
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
 	}
-	for i := range a.Users {
-		if a.Users[i] != b.Users[i] {
+	for i := 0; i < a.Len(); i++ {
+		if !sameUser(a.View(i), b.View(i)) {
 			t.Fatal("same-seed populations differ")
 		}
 	}
+}
+
+// sameUser compares every column of two user views field by field.
+func sameUser(a, b UserView) bool {
+	return a.ID() == b.ID() && a.Age() == b.Age() && a.Gender() == b.Gender() &&
+		a.Race() == b.Race() && a.State() == b.State() && a.ZIP() == b.ZIP() &&
+		a.Activity() == b.Activity() && a.TravelProb() == b.TravelProb() &&
+		a.PIIKey() == b.PIIKey()
 }
 
 func TestHashPIIProperty(t *testing.T) {
@@ -173,6 +186,45 @@ func TestHashPIIProperty(t *testing.T) {
 		return HashPII(a+"x", b, c, d) != h1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLookupPIIConcurrentFirstUse: the builder drops the PII index when
+// construction finishes and LookupPII rebuilds it lazily on first use. The
+// rebuild must be safe and correct when the first uses arrive concurrently.
+func TestLookupPIIConcurrentFirstUse(t *testing.T) {
+	fl := testRegistry(t, demo.StateFL, 3000)
+	pop, err := Build(Config{Seed: 6}, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := pop.Len()
+	if n > 256 {
+		n = 256
+	}
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = pop.View(i).PIIKey()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, key := range keys {
+				u, ok := pop.LookupPII(key)
+				if !ok || u.ID() != i {
+					errs <- fmt.Errorf("key %d resolved to (%v, %v)", i, u, ok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		t.Error(err)
 	}
 }

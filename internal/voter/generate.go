@@ -47,10 +47,26 @@ type zipInfo struct {
 	weight     float64 // sampling weight (population proxy)
 }
 
-// Generate builds a synthetic registry. Generation is deterministic in the
-// seed. Demographic marginals: gender ≈ 50/50, ages drawn from a voter-file
+// Generator produces a synthetic registry one record at a time, so a
+// population can be streamed off it without materializing the registry.
+// Construction performs the ZIP-table draws; each Next consumes the per-
+// record draws. The draw sequence is a frozen contract: for the same
+// configuration, NewGenerator+Next yields records byte-identical to
+// Generate's registry, record for record.
+type Generator struct {
+	cfg         GeneratorConfig
+	rng         *rand.Rand
+	zips        []zipInfo
+	totalWeight float64
+	zipPoverty  map[string]float64
+	idPrefix    string
+	i           int
+}
+
+// NewGenerator validates the configuration and draws the ZIP table.
+// Demographic marginals: gender ≈ 50/50, ages drawn from a voter-file
 // distribution that skews older, race by ZIP composition.
-func Generate(cfg GeneratorConfig) (*Registry, error) {
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
 	if cfg.State != demo.StateFL && cfg.State != demo.StateNC {
 		return nil, fmt.Errorf("voter: generate for non-study state %v", cfg.State)
 	}
@@ -108,35 +124,76 @@ func Generate(cfg GeneratorConfig) (*Registry, error) {
 	for i := range zips {
 		totalWeight += zips[i].weight
 	}
+	return &Generator{
+		cfg:         cfg,
+		rng:         rng,
+		zips:        zips,
+		totalWeight: totalWeight,
+		zipPoverty:  zipPoverty,
+		idPrefix:    idPrefix,
+	}, nil
+}
 
+// Next fills rec with the next record and reports whether one was produced;
+// it returns false once NumVoters records have been emitted.
+func (g *Generator) Next(rec *Record) bool {
+	if g.i >= g.cfg.NumVoters {
+		return false
+	}
+	i := g.i
+	g.i++
+	rng := g.rng
+	z := &g.zips[pickWeighted(rng, g.zips, g.totalWeight)]
+	gender := demo.GenderMale
+	gc := 'M'
+	if rng.Float64() < 0.5 {
+		gender = demo.GenderFemale
+		gc = 'F'
+	}
+	race := demo.RaceWhite
+	if rng.Float64() < z.blackShare {
+		race = demo.RaceBlack
+	}
+	// The draws below happen in the struct-literal evaluation order of the
+	// original one-shot generator (first name, last name, street number,
+	// street, age) — reordering any of them would shift every later record.
+	firstName := randomFirstName(rng, gc)
+	lastName := randomLastName(rng)
+	streetNum := 1 + rng.Intn(9999)
+	street := randomStreet(rng)
+	age := sampleVoterAge(rng)
+	*rec = Record{
+		ID:        fmt.Sprintf("%s%08d", g.idPrefix, i+1),
+		FirstName: firstName,
+		LastName:  lastName,
+		Address:   fmt.Sprintf("%d %s", streetNum, street),
+		City:      z.city,
+		State:     g.cfg.State,
+		ZIP:       z.code,
+		Gender:    gender,
+		Race:      race,
+		BirthYear: StudyYear - age,
+	}
+	return true
+}
+
+// ZIPPoverty returns the generated ZIP→poverty table (shared, do not
+// mutate).
+func (g *Generator) ZIPPoverty() map[string]float64 { return g.zipPoverty }
+
+// Generate builds a synthetic registry. Generation is deterministic in the
+// seed; it is the one-shot materialization of Generator's stream.
+func Generate(cfg GeneratorConfig) (*Registry, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
 	records := make([]Record, 0, cfg.NumVoters)
-	for i := 0; i < cfg.NumVoters; i++ {
-		z := &zips[pickWeighted(rng, zips, totalWeight)]
-		g := demo.GenderMale
-		gc := 'M'
-		if rng.Float64() < 0.5 {
-			g = demo.GenderFemale
-			gc = 'F'
-		}
-		race := demo.RaceWhite
-		if rng.Float64() < z.blackShare {
-			race = demo.RaceBlack
-		}
-		rec := Record{
-			ID:        fmt.Sprintf("%s%08d", idPrefix, i+1),
-			FirstName: randomFirstName(rng, gc),
-			LastName:  randomLastName(rng),
-			Address:   fmt.Sprintf("%d %s", 1+rng.Intn(9999), randomStreet(rng)),
-			City:      z.city,
-			State:     cfg.State,
-			ZIP:       z.code,
-			Gender:    g,
-			Race:      race,
-			BirthYear: StudyYear - sampleVoterAge(rng),
-		}
+	var rec Record
+	for g.Next(&rec) {
 		records = append(records, rec)
 	}
-	return &Registry{State: cfg.State, Records: records, ZIPPoverty: zipPoverty}, nil
+	return &Registry{State: cfg.State, Records: records, ZIPPoverty: g.zipPoverty}, nil
 }
 
 func pickWeighted(rng *rand.Rand, zips []zipInfo, total float64) int {
